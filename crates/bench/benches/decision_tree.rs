@@ -1,0 +1,56 @@
+//! Microbenchmarks of the decision-tree machinery (Protocol 3): building
+//! trees over conflicting strings and resolving them with `determine`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_core::BitArray;
+use dr_protocols::DecisionTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn conflicting_strings(count: usize, len: usize, seed: u64) -> (Vec<BitArray>, BitArray) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth = BitArray::random(len, &mut rng);
+    let mut strings = vec![truth.clone()];
+    for _ in 1..count {
+        let mut fake = truth.clone();
+        // Corrupt a random non-empty subset of positions.
+        let flips = rng.gen_range(1..=len.min(8));
+        for _ in 0..flips {
+            let j = rng.gen_range(0..len);
+            fake.flip(j);
+        }
+        strings.push(fake);
+    }
+    (strings, truth)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree_build");
+    for &count in &[4usize, 16, 64] {
+        let (strings, _) = conflicting_strings(count, 256, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &strings, |b, s| {
+            b.iter(|| DecisionTree::build(s));
+        });
+    }
+    group.finish();
+}
+
+fn bench_determine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree_determine");
+    for &count in &[4usize, 16, 64] {
+        let (strings, truth) = conflicting_strings(count, 256, 8);
+        let tree = DecisionTree::build(&strings);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &tree, |b, t| {
+            b.iter(|| {
+                let out = t
+                    .determine(0..256, &mut |j| truth.get(j))
+                    .expect("non-empty");
+                assert_eq!(out, truth);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_determine);
+criterion_main!(benches);

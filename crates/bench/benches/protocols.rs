@@ -1,0 +1,38 @@
+//! End-to-end protocol benchmarks: full simulated executions per
+//! protocol, sized for quick wall-clock comparison (the *query* metrics
+//! live in the `fig_*` experiment binaries; these measure simulator
+//! throughput per protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dr_bench::runners::{
+    run_committee, run_crash_multi, run_multi_cycle, run_naive, run_single_crash, run_two_cycle,
+    ByzMix,
+};
+use dr_core::PeerId;
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_full_run");
+    group.sample_size(10);
+    group.bench_function("naive_n4096_k16", |b| {
+        b.iter(|| run_naive(4096, 16, 1));
+    });
+    group.bench_function("alg1_n4096_k16_crash", |b| {
+        b.iter(|| run_single_crash(4096, 16, 2, Some(PeerId(3))));
+    });
+    group.bench_function("alg2_n4096_k16_beta0.5", |b| {
+        b.iter(|| run_crash_multi(4096, 16, 8, 8, 1024, false, 3));
+    });
+    group.bench_function("committee_n4096_k16_t4", |b| {
+        b.iter(|| run_committee(4096, 16, 4, 4, 4));
+    });
+    group.bench_function("two_cycle_n16384_k256_b32", |b| {
+        b.iter(|| run_two_cycle(1 << 14, 256, 32, ByzMix::Silent, 5));
+    });
+    group.bench_function("multi_cycle_n16384_k256_b32", |b| {
+        b.iter(|| run_multi_cycle(1 << 14, 256, 32, ByzMix::Silent, 6));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the paper in one run.
+//! Use `cargo run --release -p dr-bench --bin all_experiments`.
+
+fn main() {
+    let started = std::time::Instant::now();
+    for table in dr_bench::experiments::run_all() {
+        print!("{table}");
+    }
+    eprintln!("\nall experiments done in {:.1?}", started.elapsed());
+}

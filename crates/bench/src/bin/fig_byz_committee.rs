@@ -1,0 +1,7 @@
+//! Regenerates the 'byz_committee' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::byz_committee::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'crash_scaling' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::crash_scaling::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'crash_single' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::crash_single::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'exhaustive' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::exhaustive::run() {
+        print!("{table}");
+    }
+}

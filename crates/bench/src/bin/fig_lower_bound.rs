@@ -1,0 +1,7 @@
+//! Regenerates the 'lower_bound' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::lower_bound::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'msg_size' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::msg_size::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'multi_cycle' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::multi_cycle::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'oracle' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::oracle::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the 'strategy_ablation' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::strategy_ablation::run() {
+        print!("{table}");
+    }
+}

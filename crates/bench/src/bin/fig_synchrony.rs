@@ -1,0 +1,7 @@
+//! Regenerates the 'synchrony' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::synchrony::run() {
+        print!("{table}");
+    }
+}

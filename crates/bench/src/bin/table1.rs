@@ -1,0 +1,7 @@
+//! Regenerates the 'table1' experiment tables (see DESIGN.md E-index).
+
+fn main() {
+    for table in dr_bench::experiments::table1::run() {
+        print!("{table}");
+    }
+}

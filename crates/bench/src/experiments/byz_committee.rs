@@ -1,0 +1,42 @@
+//! E4 — Theorem 3.4: the deterministic committee protocol's `Q` grows
+//! linearly in the Byzantine budget `t` and meets the naive cost as
+//! `β → 1/2`.
+
+use crate::runners::{run_committee, run_naive};
+use crate::table::{f, Table};
+
+/// Runs the committee-scaling experiment.
+pub fn run() -> Vec<Table> {
+    let (n, k) = (8192usize, 64usize);
+    let naive_q = run_naive(n, k, 77).max_nonfaulty_queries;
+    let mut t = Table::new(
+        "E4 — Committee protocol: Q vs t (n = 8192, k = 64; naive = 8192)",
+        &["t", "beta", "Q meas", "Q theory = n(2t+1)/k", "vs naive", "M"],
+    );
+    for byz in [0usize, 2, 4, 8, 16, 24, 31] {
+        let r = run_committee(n, k, byz, byz, 21 + byz as u64);
+        let theory = (n * (2 * byz + 1)).div_ceil(k);
+        t.row(vec![
+            byz.to_string(),
+            f(byz as f64 / k as f64),
+            r.max_nonfaulty_queries.to_string(),
+            theory.to_string(),
+            f(r.max_nonfaulty_queries as f64 / naive_q as f64),
+            r.messages_sent.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn q_grows_linearly_in_t() {
+        let n = 512;
+        let k = 16;
+        let q1 = crate::runners::run_committee(n, k, 1, 1, 1).max_nonfaulty_queries;
+        let q3 = crate::runners::run_committee(n, k, 3, 3, 2).max_nonfaulty_queries;
+        // (2·3+1)/(2·1+1) = 7/3 ≈ 2.33× more queries.
+        assert!(q3 > 2 * q1);
+    }
+}

@@ -1,0 +1,59 @@
+//! E2 — Theorem 2.3: Algorithm 1 query complexity scales as `O(n/k)`.
+//!
+//! Sweeps `n` at fixed `k` with an adversarial single crash and checks the
+//! measured `Q` against the `n/k + n/(k(k−1))` bound; sweeps `k` at fixed
+//! `n` to show the `1/k` shape.
+
+use crate::runners::run_single_crash;
+use crate::table::{f, Table};
+use dr_core::PeerId;
+
+/// Runs the Algorithm 1 scaling experiment.
+pub fn run() -> Vec<Table> {
+    let mut by_n = Table::new(
+        "E2a — Alg 1 (one crash): Q vs n (k = 16)",
+        &["n", "Q meas", "Q bound", "ratio", "T", "M"],
+    );
+    let k = 16usize;
+    for exp in 10..=14 {
+        let n = 1usize << exp;
+        let r = run_single_crash(n, k, exp as u64, Some(PeerId(3)));
+        let bound = n / k + n / (k * (k - 1)) + 2;
+        by_n.row(vec![
+            n.to_string(),
+            r.max_nonfaulty_queries.to_string(),
+            bound.to_string(),
+            f(r.max_nonfaulty_queries as f64 / bound as f64),
+            f(r.virtual_time_units),
+            r.messages_sent.to_string(),
+        ]);
+    }
+
+    let mut by_k = Table::new(
+        "E2b — Alg 1 (one crash): Q vs k (n = 8192)",
+        &["k", "Q meas", "Q bound", "ratio"],
+    );
+    let n = 8192usize;
+    for k in [4usize, 8, 16, 32, 64] {
+        let r = run_single_crash(n, k, k as u64, Some(PeerId(1)));
+        let bound = n / k + n / (k * (k - 1)) + 2;
+        by_k.row(vec![
+            k.to_string(),
+            r.max_nonfaulty_queries.to_string(),
+            bound.to_string(),
+            f(r.max_nonfaulty_queries as f64 / bound as f64),
+        ]);
+    }
+    vec![by_n, by_k]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rows_track_bound() {
+        // Smoke-scale version of the experiment: Q never exceeds the bound.
+        let r = crate::runners::run_single_crash(512, 8, 1, Some(dr_core::PeerId(0)));
+        let bound = 512 / 8 + 512 / (8 * 7) + 2;
+        assert!(r.max_nonfaulty_queries <= bound as u64);
+    }
+}

@@ -1,0 +1,34 @@
+//! One module per reproduced artifact. See DESIGN.md §3 for the index.
+
+pub mod byz_committee;
+pub mod crash_scaling;
+pub mod crash_single;
+pub mod exhaustive;
+pub mod lower_bound;
+pub mod msg_size;
+pub mod multi_cycle;
+pub mod oracle;
+pub mod strategy_ablation;
+pub mod synchrony;
+pub mod table1;
+pub mod two_cycle;
+
+use crate::table::Table;
+
+/// Runs every experiment in sequence, printing each table.
+pub fn run_all() -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(table1::run());
+    tables.extend(crash_single::run());
+    tables.extend(crash_scaling::run());
+    tables.extend(byz_committee::run());
+    tables.extend(two_cycle::run());
+    tables.extend(multi_cycle::run());
+    tables.extend(lower_bound::run());
+    tables.extend(oracle::run());
+    tables.extend(msg_size::run());
+    tables.extend(strategy_ablation::run());
+    tables.extend(synchrony::run());
+    tables.extend(exhaustive::run());
+    tables
+}

@@ -1,0 +1,57 @@
+//! E6 — Theorem 3.12: the multi-cycle randomized protocol.
+//!
+//! Compares the multi-cycle protocol's expected query cost against the
+//! 2-cycle protocol across input sizes (the multi-cycle's smaller initial
+//! segments pay off as `n` grows) and reports the cycle counts.
+
+use crate::runners::{run_multi_cycle, run_two_cycle, ByzMix};
+use crate::stats::Stats;
+use crate::table::Table;
+use dr_protocols::MultiCyclePlan;
+
+/// Runs the multi-cycle experiments.
+pub fn run() -> Vec<Table> {
+    let (k, b) = (256usize, 32usize);
+    let mut t = Table::new(
+        "E6 — multi-cycle vs 2-cycle: mean Q over 3 seeds (k = 256, b = 32)",
+        &["n", "cycles", "p1", "Q multi", "Q 2-cycle", "Q naive"],
+    );
+    for exp in [13usize, 15, 17] {
+        let n = 1usize << exp;
+        let (cycles, p1) = match MultiCyclePlan::choose(n, k, b) {
+            MultiCyclePlan::Sampled {
+                initial_segments,
+                cycles,
+                ..
+            } => (cycles.to_string(), initial_segments.to_string()),
+            MultiCyclePlan::Naive => ("-".into(), "naive".into()),
+        };
+        let q_multi = Stats::sample(3, 60 + exp as u64, |s| {
+            run_multi_cycle(n, k, b, ByzMix::Mixed, s).max_nonfaulty_queries as f64
+        });
+        let q_two = Stats::sample(3, 60 + exp as u64, |s| {
+            run_two_cycle(n, k, b, ByzMix::Mixed, s).max_nonfaulty_queries as f64
+        });
+        t.row(vec![
+            n.to_string(),
+            cycles,
+            p1,
+            format!("{:.0} ± {:.0}", q_multi.mean, q_multi.std),
+            format!("{:.0} ± {:.0}", q_two.mean, q_two.std),
+            n.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_cycle_stays_below_naive() {
+        let (n, k, b) = (1usize << 13, 256usize, 16usize);
+        let r = run_multi_cycle(n, k, b, ByzMix::Silent, 3);
+        assert!(r.max_nonfaulty_queries < n as u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! E11 — Ablation: asynchrony's price.
+//!
+//! The paper's headline is that Download — unlike consensus — needs no
+//! synchrony at all. This ablation quantifies what asynchrony costs in
+//! practice: each protocol under a lockstep schedule (all latencies
+//! maximal and equal — the synchronous limit) versus the adversarial
+//! asynchronous schedule. Queries are shape-identical; only time
+//! stretches.
+
+use crate::runners::crash_params;
+use crate::table::{f, Table};
+use dr_core::PeerId;
+use dr_protocols::CrashMultiDownload;
+use dr_sim::{CrashPlan, FixedDelay, RunReport, SimBuilder, StandardAdversary, TICKS_PER_UNIT, UniformDelay};
+
+fn run_mode(n: usize, k: usize, b: usize, lockstep: bool, seed: u64) -> RunReport {
+    let plan = CrashPlan::before_event((0..b).map(PeerId), 1);
+    let adversary = if lockstep {
+        StandardAdversary::new(FixedDelay(TICKS_PER_UNIT), plan).simultaneous_start()
+    } else {
+        StandardAdversary::new(UniformDelay::new(), plan)
+    };
+    let sim = SimBuilder::new(crash_params(n, k, b, 1024))
+        .seed(seed)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(adversary)
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().expect("no deadlock");
+    report.verify_downloads(&input).expect("exact download");
+    report
+}
+
+/// Runs the synchrony ablation.
+pub fn run() -> Vec<Table> {
+    let (n, k) = (4096usize, 16usize);
+    let mut t = Table::new(
+        "E11 — Alg 2: lockstep (synchronous limit) vs adversarial async (n = 4096, k = 16)",
+        &["beta", "Q sync", "Q async", "T sync", "T async"],
+    );
+    for b in [0usize, 4, 8, 12] {
+        let sync = run_mode(n, k, b, true, 200 + b as u64);
+        let async_ = run_mode(n, k, b, false, 200 + b as u64);
+        t.row(vec![
+            f(b as f64 / k as f64),
+            sync.max_nonfaulty_queries.to_string(),
+            async_.max_nonfaulty_queries.to_string(),
+            f(sync.virtual_time_units),
+            f(async_.virtual_time_units),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_verify_and_stay_bounded() {
+        let sync = run_mode(512, 8, 4, true, 1);
+        let async_ = run_mode(512, 8, 4, false, 1);
+        let bound = ((512 / 8) * 3 + 16) as u64;
+        assert!(sync.max_nonfaulty_queries <= bound);
+        assert!(async_.max_nonfaulty_queries <= bound);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness reproducing the paper's evaluation artifacts.
+//!
+//! The paper is a theory paper: its artifacts are Table 1 (the complexity
+//! comparison) and the per-theorem bounds. Each experiment here
+//! regenerates one of them empirically — see `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured records.
+//! Run all of them with `cargo run --release -p dr-bench --bin
+//! all_experiments`, or individually via the `fig_*` / `table1` binaries.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runners;
+pub mod stats;
+pub mod table;
+
+pub use stats::Stats;
+pub use table::{f, Table};

@@ -1,0 +1,282 @@
+//! Standardized experiment runs: one function per (protocol, scenario),
+//! all verifying the Download specification before returning metrics.
+
+use dr_core::{BitArray, FaultModel, ModelParams, PeerId, SegmentId, Segmentation};
+use dr_protocols::byz::strategies::{CollusionGroup, Equivocator, RandomNoise};
+use dr_protocols::{
+    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload,
+    SingleCrashDownload, TwoCycleDownload, TwoCyclePlan,
+};
+use dr_sim::{CrashPlan, RunReport, SilentAgent, SimBuilder, StandardAdversary, UniformDelay};
+
+/// Mix of Byzantine behaviours injected in the randomized-protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzMix {
+    /// No Byzantine peers actually instantiated (budget reserved only).
+    None,
+    /// All Byzantine peers silent.
+    Silent,
+    /// Equal parts equivocators, colluders, and random noise.
+    Mixed,
+    /// All Byzantine peers collude on fake strings in groups.
+    Colluders,
+}
+
+/// Builds crash-fault parameters.
+pub fn crash_params(n: usize, k: usize, b: usize, msg_bits: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .message_bits(msg_bits)
+        .build()
+        .expect("valid crash params")
+}
+
+/// Builds Byzantine-fault parameters.
+pub fn byz_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, b)
+        .build()
+        .expect("valid byz params")
+}
+
+fn verified(sim: dr_sim::Simulation<impl dr_core::ProtocolMessage>) -> RunReport {
+    let input = sim.input().clone();
+    let report = sim.run().expect("run must terminate");
+    report
+        .verify_downloads(&input)
+        .expect("download specification violated");
+    report
+}
+
+/// Naive protocol run (works under any fault pattern).
+pub fn run_naive(n: usize, k: usize, seed: u64) -> RunReport {
+    let sim = SimBuilder::new(crash_params(n, k, 0, 1024))
+        .seed(seed)
+        .protocol(|_| NaiveDownload::new())
+        .build();
+    verified(sim)
+}
+
+/// Algorithm 1 with one adversarial crash (`victim` dies mid-run).
+pub fn run_single_crash(n: usize, k: usize, seed: u64, victim: Option<PeerId>) -> RunReport {
+    let plan = match victim {
+        Some(v) => CrashPlan::before_event([v], seed % 4),
+        None => CrashPlan::none(),
+    };
+    let sim = SimBuilder::new(crash_params(n, k, 1, 1024))
+        .seed(seed)
+        .protocol(move |_| SingleCrashDownload::new(n, k))
+        .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+        .build();
+    verified(sim)
+}
+
+/// Algorithm 2 with `crashes` peers crashed adversarially (budget `b`).
+pub fn run_crash_multi(
+    n: usize,
+    k: usize,
+    b: usize,
+    crashes: usize,
+    msg_bits: usize,
+    early_release: bool,
+    seed: u64,
+) -> RunReport {
+    assert!(crashes <= b);
+    let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
+    let plan = CrashPlan::before_event(victims, 1 + seed % 3);
+    let sim = SimBuilder::new(crash_params(n, k, b, msg_bits))
+        .seed(seed)
+        .protocol(move |_| {
+            let p = CrashMultiDownload::new(n, k, b);
+            if early_release {
+                p.with_early_release()
+            } else {
+                p
+            }
+        })
+        .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+        .build();
+    verified(sim)
+}
+
+/// Deterministic committee protocol with `silent` of the `t` Byzantine
+/// peers instantiated as silent.
+pub fn run_committee(n: usize, k: usize, t: usize, silent: usize, seed: u64) -> RunReport {
+    assert!(silent <= t);
+    let mut builder = SimBuilder::new(byz_params(n, k, t))
+        .seed(seed)
+        .protocol(move |_| CommitteeDownload::new(n, k, t));
+    for i in 0..silent {
+        builder = builder.byzantine(PeerId(i), SilentAgent::new());
+    }
+    verified(builder.build())
+}
+
+fn apply_mix<M, FEq, FCol, FNoise>(
+    mut builder: SimBuilder<M>,
+    b: usize,
+    mix: ByzMix,
+    eq: FEq,
+    col: FCol,
+    noise: FNoise,
+) -> SimBuilder<M>
+where
+    M: dr_core::ProtocolMessage,
+    FEq: Fn(usize) -> Box<dyn dr_sim::Agent<M>>,
+    FCol: Fn(usize) -> Box<dyn dr_sim::Agent<M>>,
+    FNoise: Fn(usize) -> Box<dyn dr_sim::Agent<M>>,
+{
+    match mix {
+        ByzMix::None => builder,
+        ByzMix::Silent => {
+            for i in 0..b {
+                builder = builder.byzantine(PeerId(i), SilentAgent::new());
+            }
+            builder
+        }
+        ByzMix::Mixed => {
+            for i in 0..b {
+                builder = match i % 3 {
+                    0 => builder.byzantine(PeerId(i), eq(i)),
+                    1 => builder.byzantine(PeerId(i), col(i)),
+                    _ => builder.byzantine(PeerId(i), noise(i)),
+                };
+            }
+            builder
+        }
+        ByzMix::Colluders => {
+            for i in 0..b {
+                builder = builder.byzantine(PeerId(i), col(i));
+            }
+            builder
+        }
+    }
+}
+
+/// Returns the segmentation the 2-cycle protocol will use, if sampled.
+pub fn two_cycle_segmentation(n: usize, k: usize, b: usize) -> Option<(Segmentation, usize)> {
+    match TwoCyclePlan::choose(n, k, b) {
+        TwoCyclePlan::Sampled {
+            segments,
+            threshold,
+        } => Some((Segmentation::new(n, segments), threshold)),
+        TwoCyclePlan::Naive => None,
+    }
+}
+
+/// 2-cycle randomized protocol run under a Byzantine mix.
+pub fn run_two_cycle(n: usize, k: usize, b: usize, mix: ByzMix, seed: u64) -> RunReport {
+    let builder = SimBuilder::new(byz_params(n, k, b))
+        .seed(seed)
+        .protocol(move |_| TwoCycleDownload::new(n, k, b));
+    let builder = match two_cycle_segmentation(n, k, b) {
+        // Colluders form groups of τ consecutive IDs sharing one target
+        // segment and one fake string, so each group crosses the
+        // frequency threshold (the only strategy that can).
+        Some((seg, tau)) => apply_mix(
+            builder,
+            b,
+            mix,
+            |i| Box::new(Equivocator::new(seg, SegmentId(i % seg.count()))),
+            move |i| {
+                let group = i / tau.max(1);
+                Box::new(CollusionGroup::new(
+                    seg,
+                    SegmentId(group % seg.count()),
+                    group as u64,
+                ))
+            },
+            |_| Box::new(RandomNoise::new(seg)),
+        ),
+        None => apply_mix(
+            builder,
+            b,
+            mix,
+            |_| Box::new(SilentAgent::new()),
+            |_| Box::new(SilentAgent::new()),
+            |_| Box::new(SilentAgent::new()),
+        ),
+    };
+    verified(builder.build())
+}
+
+/// Multi-cycle randomized protocol run under a Byzantine mix (colluders
+/// and noise target the cycle-1 segmentation).
+pub fn run_multi_cycle(n: usize, k: usize, b: usize, mix: ByzMix, seed: u64) -> RunReport {
+    use dr_protocols::MultiCyclePlan;
+    let builder = SimBuilder::new(byz_params(n, k, b))
+        .seed(seed)
+        .protocol(move |_| MultiCycleDownload::new(n, k, b));
+    let builder = match MultiCyclePlan::choose(n, k, b) {
+        MultiCyclePlan::Sampled {
+            initial_segments,
+            threshold,
+            ..
+        } => {
+            let seg = Segmentation::new(n, initial_segments);
+            apply_mix(
+                builder,
+                b,
+                mix,
+                |i| Box::new(Equivocator::new(seg, SegmentId(i % seg.count()))),
+                move |i| {
+                    let group = i / threshold.max(1);
+                    Box::new(CollusionGroup::new(
+                        seg,
+                        SegmentId(group % seg.count()),
+                        group as u64,
+                    ))
+                },
+                |_| Box::new(RandomNoise::new(seg)),
+            )
+        }
+        MultiCyclePlan::Naive => apply_mix(
+            builder,
+            b,
+            mix,
+            |_| Box::new(SilentAgent::new()),
+            |_| Box::new(SilentAgent::new()),
+            |_| Box::new(SilentAgent::new()),
+        ),
+    };
+    verified(builder.build())
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Convenience: repeats a run over `trials` seeds and averages a metric.
+pub fn average<R: Fn(u64) -> f64>(trials: u64, base_seed: u64, run: R) -> f64 {
+    let xs: Vec<f64> = (0..trials).map(|t| run(base_seed + t)).collect();
+    mean(&xs)
+}
+
+/// The all-zeros input convenience used by lower-bound experiments.
+pub fn zeros(n: usize) -> BitArray {
+    BitArray::zeros(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_runners_produce_verified_reports() {
+        run_naive(64, 4, 1);
+        run_single_crash(60, 4, 2, Some(PeerId(1)));
+        run_crash_multi(128, 8, 4, 3, 1024, false, 3);
+        run_committee(48, 7, 2, 2, 4);
+        run_two_cycle(4096, 96, 12, ByzMix::Mixed, 5);
+        run_multi_cycle(4096, 96, 8, ByzMix::Silent, 6);
+    }
+
+    #[test]
+    fn average_averages() {
+        assert_eq!(average(4, 0, |s| s as f64), 1.5);
+    }
+}

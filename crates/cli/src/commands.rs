@@ -1,0 +1,281 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use dr_bench::runners::{self, ByzMix};
+use dr_core::{BitArray, PeerId};
+use dr_protocols::lower_bound::{deterministic_attack, AttackOutcome};
+use dr_protocols::{
+    BalancedDownload, CommitteeDownload, CrashMultiDownload, NaiveDownload, SingleCrashDownload,
+};
+use dr_sim::explore::ExploreConfig;
+use dr_sim::RunReport;
+
+fn print_report(report: &RunReport, n: usize) {
+    println!("nonfaulty peers    : {}", report.nonfaulty.len());
+    println!("crashed peers      : {}", report.crashed.len());
+    println!("byzantine peers    : {}", report.byzantine.len());
+    println!("Q (max nonfaulty)  : {} (naive = {n})", report.max_nonfaulty_queries);
+    println!("mean queries       : {:.1}", report.mean_nonfaulty_queries());
+    println!("messages (packets) : {}", report.messages_sent);
+    println!("message bits       : {}", report.message_bits);
+    println!("virtual time       : {:.2} units", report.virtual_time_units);
+    println!("events             : {}", report.events);
+    println!("verified           : every nonfaulty peer downloaded the exact input");
+}
+
+fn parse_mix(s: &str) -> Result<ByzMix, ArgError> {
+    match s {
+        "none" => Ok(ByzMix::None),
+        "silent" => Ok(ByzMix::Silent),
+        "mixed" => Ok(ByzMix::Mixed),
+        "colluders" => Ok(ByzMix::Colluders),
+        other => Err(ArgError(format!("unknown --byz-mix '{other}'"))),
+    }
+}
+
+/// `dr run` — execute one protocol under the standard adversary.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.require_num("n")?;
+    let k: usize = args.require_num("k")?;
+    let b: usize = args.num("b", 0)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let msg_bits: usize = args.num("msg-bits", 1024)?;
+    let protocol = args.get_or("protocol", "alg2");
+    let mix = parse_mix(args.get_or("byz-mix", "silent"))?;
+    let crashes: usize = args.num("crashes", b)?;
+
+    let report = match protocol {
+        "naive" => runners::run_naive(n, k, seed),
+        "balanced" => {
+            let params = runners::crash_params(n, k, 0, msg_bits);
+            let sim = dr_sim::SimBuilder::new(params)
+                .seed(seed)
+                .protocol(move |_| BalancedDownload::new(n, k))
+                .build();
+            let input = sim.input().clone();
+            let r = sim
+                .run()
+                .map_err(|e| ArgError(format!("balanced download failed: {e}")))?;
+            r.verify_downloads(&input)
+                .map_err(|e| ArgError(format!("verification failed: {e}")))?;
+            r
+        }
+        "alg1" => runners::run_single_crash(n, k, seed, (crashes > 0).then_some(PeerId(0))),
+        "alg2" => runners::run_crash_multi(n, k, b, crashes, msg_bits, false, seed),
+        "alg2-early" => runners::run_crash_multi(n, k, b, crashes, msg_bits, true, seed),
+        "committee" => runners::run_committee(n, k, b, b, seed),
+        "two-cycle" => runners::run_two_cycle(n, k, b, mix, seed),
+        "multi-cycle" => runners::run_multi_cycle(n, k, b, mix, seed),
+        other => return Err(ArgError(format!("unknown --protocol '{other}'"))),
+    };
+    println!("protocol {protocol}: n={n} k={k} b={b} seed={seed}");
+    print_report(&report, n);
+    Ok(())
+}
+
+/// `dr trace` — run Algorithm 2 with a full execution trace.
+pub fn trace(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.num("n", 64)?;
+    let k: usize = args.num("k", 4)?;
+    let b: usize = args.num("b", 1)?;
+    let seed: u64 = args.num("seed", 1)?;
+    let crashes: usize = args.num("crashes", b)?;
+    let params = runners::crash_params(n, k, b, 1024);
+    let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
+    let sim = dr_sim::SimBuilder::new(params)
+        .seed(seed)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(dr_sim::StandardAdversary::new(
+            dr_sim::UniformDelay::new(),
+            dr_sim::CrashPlan::before_event(victims, 1),
+        ))
+        .trace()
+        .build();
+    let input = sim.input().clone();
+    let report = sim
+        .run()
+        .map_err(|e| ArgError(format!("run failed: {e}")))?;
+    report
+        .verify_downloads(&input)
+        .map_err(|e| ArgError(format!("verification failed: {e}")))?;
+    print!(
+        "{}",
+        dr_sim::render_trace(report.trace.as_ref().expect("trace enabled"))
+    );
+    println!("
+Q = {}, T = {:.2} units", report.max_nonfaulty_queries, report.virtual_time_units);
+    Ok(())
+}
+
+/// `dr attack` — run the Theorem 3.1 attack against a protocol.
+pub fn attack(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.require_num("n")?;
+    let k: usize = args.require_num("k")?;
+    let seed: u64 = args.num("seed", 1)?;
+    let target = PeerId(args.num("target", 0usize)?);
+    let protocol = args.get_or("protocol", "balanced");
+    let outcome = match protocol {
+        "naive" => deterministic_attack(n, k, target, |_| NaiveDownload::new(), seed),
+        "balanced" => {
+            deterministic_attack(n, k, target, move |_| BalancedDownload::new(n, k), seed)
+        }
+        "alg1" => {
+            deterministic_attack(n, k, target, move |_| SingleCrashDownload::new(n, k), seed)
+        }
+        "committee" => {
+            let t: usize = args.num("t", (k - 1) / 4)?;
+            deterministic_attack(n, k, target, move |_| CommitteeDownload::new(n, k, t), seed)
+        }
+        other => return Err(ArgError(format!("unknown --protocol '{other}'"))),
+    };
+    println!("Theorem 3.1 attack on '{protocol}' (n={n}, k={k}, coalition=k-1):");
+    match outcome {
+        AttackOutcome::FullyQueried { queries } => {
+            println!("  SURVIVES — target queried all {queries} bits (paid Q = n)");
+        }
+        AttackOutcome::Violated {
+            flipped_index,
+            queries,
+        } => {
+            println!(
+                "  FOOLED — target queried only {queries}/{n} bits and output a wrong \
+                 value at index {flipped_index}"
+            );
+        }
+        AttackOutcome::NoTermination { flipped_index } => {
+            println!("  HUNG — target never terminated (flipped bit {flipped_index})");
+        }
+    }
+    Ok(())
+}
+
+/// `dr oracle` — run both ODC pipelines and compare.
+pub fn oracle(args: &Args) -> Result<(), ArgError> {
+    use dr_oracle::{run_baseline, run_download_based, DownloadEngine, OracleConfig};
+    let config = OracleConfig {
+        nodes: args.num("nodes", 64usize)?,
+        byz_nodes: args.num("byz-nodes", 6usize)?,
+        honest_sources: args.num("sources", 5usize)?,
+        corrupt_sources: args.num("corrupt", 2usize)?,
+        cells: args.num("cells", 64usize)?,
+        truth_base: args.num("truth", 1_000_000u64)?,
+        spread: args.num("spread", 200u64)?,
+        seed: args.num("seed", 1u64)?,
+    };
+    let engine = match args.get_or("engine", "two-cycle") {
+        "two-cycle" => DownloadEngine::TwoCycle,
+        "crash" => DownloadEngine::CrashMulti,
+        other => return Err(ArgError(format!("unknown --engine '{other}'"))),
+    };
+    let baseline = run_baseline(&config, config.sources());
+    let download = run_download_based(&config, engine);
+    println!(
+        "oracle: {} nodes ({} byz), {} sources ({} corrupt), {} cells",
+        config.nodes,
+        config.byz_nodes,
+        config.sources(),
+        config.corrupt_sources,
+        config.cells
+    );
+    println!(
+        "baseline : total {} bits, max/node {} bits, ODD ok = {}",
+        baseline.total_read_bits,
+        baseline.max_node_read_bits,
+        baseline.odd_satisfied()
+    );
+    println!(
+        "download : total {} bits, max/node {} bits, ODD ok = {}",
+        download.total_read_bits,
+        download.max_node_read_bits,
+        download.odd_satisfied()
+    );
+    println!(
+        "saving   : {:.1}x total, {:.1}x per node",
+        baseline.total_read_bits as f64 / download.total_read_bits.max(1) as f64,
+        baseline.max_node_read_bits as f64 / download.max_node_read_bits.max(1) as f64
+    );
+    Ok(())
+}
+
+/// `dr explore` — exhaustively enumerate message schedules.
+pub fn explore(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.require_num("n")?;
+    let k: usize = args.require_num("k")?;
+    let seed: u64 = args.num("seed", 0)?;
+    let max_schedules: u64 = args.num("max-schedules", 100_000)?;
+    let crashed: Vec<PeerId> = match args.get("crash") {
+        Some(v) => vec![PeerId(
+            v.parse::<usize>()
+                .map_err(|_| ArgError(format!("--crash expects a peer index, got '{v}'")))?,
+        )],
+        None => Vec::new(),
+    };
+    let mut rng_input = BitArray::zeros(n);
+    for i in 0..n {
+        if (i * 13 + seed as usize).is_multiple_of(3) {
+            rng_input.set(i, true);
+        }
+    }
+    let config = ExploreConfig {
+        max_schedules,
+        seed,
+        ..ExploreConfig::new(k, rng_input).with_crashed(crashed)
+    };
+    let protocol = args.get_or("protocol", "alg2");
+    let report = match protocol {
+        "alg1" => explore_with(&config, move |_| SingleCrashDownload::new(n, k)),
+        "alg2" => {
+            let b = config.crashed.len().max(1).min(k - 1);
+            explore_with(&config, move |_| CrashMultiDownload::new(n, k, b))
+        }
+        other => return Err(ArgError(format!("unknown --protocol '{other}'"))),
+    };
+    println!(
+        "explored {} schedules ({})",
+        report.schedules,
+        if report.exhaustive {
+            "exhaustive"
+        } else {
+            "budget hit"
+        }
+    );
+    match report.counterexample {
+        None => println!("verdict: PASS — every explored schedule satisfies Download"),
+        Some(ce) => println!("verdict: FAIL — {} (choices {:?})", ce.violation, ce.choices),
+    }
+    Ok(())
+}
+
+fn explore_with<M, P, F>(config: &ExploreConfig, factory: F) -> dr_sim::explore::ExploreReport
+where
+    M: dr_core::ProtocolMessage,
+    P: dr_sim::Agent<M> + 'static,
+    F: Fn(PeerId) -> P,
+{
+    dr_sim::explore::explore(config, factory)
+}
+
+/// `dr experiments` — regenerate the paper's tables.
+pub fn experiments(args: &Args) -> Result<(), ArgError> {
+    use dr_bench::experiments as exp;
+    let tables = match args.get("only") {
+        None => exp::run_all(),
+        Some("table1") => exp::table1::run(),
+        Some("crash_single") => exp::crash_single::run(),
+        Some("crash_scaling") => exp::crash_scaling::run(),
+        Some("byz_committee") => exp::byz_committee::run(),
+        Some("two_cycle") => exp::two_cycle::run(),
+        Some("multi_cycle") => exp::multi_cycle::run(),
+        Some("lower_bound") => exp::lower_bound::run(),
+        Some("oracle") => exp::oracle::run(),
+        Some("msg_size") => exp::msg_size::run(),
+        Some("strategy_ablation") => exp::strategy_ablation::run(),
+        Some("synchrony") => exp::synchrony::run(),
+        Some("exhaustive") => exp::exhaustive::run(),
+        Some(other) => return Err(ArgError(format!("unknown experiment '{other}'"))),
+    };
+    for table in tables {
+        print!("{table}");
+    }
+    Ok(())
+}

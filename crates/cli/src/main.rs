@@ -1,0 +1,69 @@
+//! `dr` — command-line driver for DR Download simulations, attacks, oracle
+//! pipelines, and exhaustive schedule exploration.
+//!
+//! ```text
+//! dr run     --protocol <naive|balanced|alg1|alg2|alg2-early|committee|two-cycle|multi-cycle>
+//!            --n <bits> --k <peers> [--b <faults>] [--crashes <count>]
+//!            [--byz-mix <none|silent|mixed|colluders>] [--seed <u64>] [--msg-bits <a>]
+//! dr attack  --n <bits> --k <peers> --protocol <naive|balanced|committee> [--seed <u64>]
+//! dr oracle  [--nodes <k>] [--byz-nodes <b>] [--sources <m>] [--corrupt <c>] [--cells <n>]
+//!            [--engine <two-cycle|crash>] [--seed <u64>]
+//! dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
+//!            [--max-schedules <count>] [--seed <u64>]
+//! dr experiments [--only <name>]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dr — Distributed Download from an External Data Source
+
+USAGE:
+  dr run     --protocol <naive|balanced|alg1|alg2|alg2-early|committee|two-cycle|multi-cycle>
+             --n <bits> --k <peers> [--b <faults>] [--crashes <count>]
+             [--byz-mix <none|silent|mixed|colluders>] [--seed <u64>] [--msg-bits <a>]
+  dr attack  --n <bits> --k <peers> --protocol <naive|balanced|committee> [--seed <u64>]
+  dr oracle  [--nodes <k>] [--byz-nodes <b>] [--sources <m>] [--corrupt <c>] [--cells <n>]
+             [--engine <two-cycle|crash>] [--seed <u64>]
+  dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
+             [--max-schedules <count>] [--seed <u64>]
+  dr trace   [--n <bits>] [--k <peers>] [--b <faults>] [--crashes <count>] [--seed <u64>]
+  dr experiments [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
+                  multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
+                  synchrony|exhaustive>]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => commands::run(&args),
+        "trace" => commands::trace(&args),
+        "attack" => commands::attack(&args),
+        "oracle" => commands::oracle(&args),
+        "explore" => commands::explore(&args),
+        "experiments" => commands::experiments(&args),
+        other => Err(args::ArgError(format!("unknown subcommand '{other}'"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end tests of the `dr` binary.
+
+use std::process::Command;
+
+fn dr(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dr"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = dr(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("dr run"));
+}
+
+#[test]
+fn run_alg2_reports_metrics() {
+    let (ok, stdout, _) = dr(&[
+        "run", "--protocol", "alg2", "--n", "256", "--k", "8", "--b", "4", "--crashes", "4",
+        "--seed", "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Q (max nonfaulty)"));
+    assert!(stdout.contains("verified"));
+}
+
+#[test]
+fn attack_defeats_balanced() {
+    let (ok, stdout, _) = dr(&["attack", "--protocol", "balanced", "--n", "64", "--k", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("FOOLED"));
+}
+
+#[test]
+fn attack_fails_against_naive() {
+    let (ok, stdout, _) = dr(&["attack", "--protocol", "naive", "--n", "64", "--k", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("SURVIVES"));
+}
+
+#[test]
+fn explore_passes_on_tiny_instance() {
+    let (ok, stdout, _) = dr(&[
+        "explore", "--protocol", "alg2", "--n", "4", "--k", "3", "--crash", "0",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PASS"));
+}
+
+#[test]
+fn trace_renders_events() {
+    let (ok, stdout, _) = dr(&["trace", "--n", "16", "--k", "3", "--b", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("START") && stdout.contains("DONE"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, stderr) = dr(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn missing_required_option_fails() {
+    let (ok, _, stderr) = dr(&["run", "--protocol", "alg2"]);
+    assert!(!ok);
+    assert!(stderr.contains("--n is required"));
+}

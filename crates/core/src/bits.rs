@@ -1,0 +1,472 @@
+//! Packed bit arrays and partially-known bit arrays.
+//!
+//! The external data source stores an `n`-bit input array `X`; every peer
+//! must output a copy of it. [`BitArray`] is the packed representation used
+//! for both the source contents and protocol outputs. [`PartialArray`] pairs
+//! a value array with a "known" mask and is the working state of every
+//! Download protocol: bits move from unknown to known as queries are made
+//! and messages arrive, and the protocol terminates once nothing is unknown.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A fixed-length packed array of bits.
+///
+/// Unused high bits of the last word are kept zeroed so that `Eq` and `Hash`
+/// are well-defined on the packed representation.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::BitArray;
+///
+/// let mut x = BitArray::zeros(10);
+/// x.set(3, true);
+/// assert!(x.get(3));
+/// assert_eq!(x.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitArray {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitArray {
+    /// Creates an all-zero array of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitArray {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an array from a predicate on bit indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dr_core::BitArray;
+    /// let x = BitArray::from_fn(8, |i| i % 2 == 0);
+    /// assert_eq!(x.count_ones(), 4);
+    /// ```
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut out = BitArray::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Creates an array from a slice of bools.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        BitArray::from_fn(bits.len(), |i| bits[i])
+    }
+
+    /// Creates a uniformly random array using the given RNG.
+    pub fn random(len: usize, rng: &mut impl Rng) -> Self {
+        let mut out = BitArray::zeros(len);
+        for w in &mut out.words {
+            *w = rng.gen();
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flips bit `i` and returns its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of one-bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Extracts the bits of `range` as a new array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> BitArray {
+        assert!(range.end <= self.len, "slice {range:?} out of range {}", self.len);
+        BitArray::from_fn(range.len(), |i| self.get(range.start + i))
+    }
+
+    /// Writes `bits` into `self` starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write would run past the end.
+    pub fn write_at(&mut self, offset: usize, bits: &BitArray) {
+        assert!(offset + bits.len() <= self.len, "write_at out of range");
+        for i in 0..bits.len() {
+            self.set(offset + i, bits.get(i));
+        }
+    }
+
+    /// Iterates over all bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Index of the first bit on which `self` and `other` differ, if any.
+    ///
+    /// This is the "separating index" used by the decision-tree construction
+    /// (Protocol 3) to resolve conflicts between inconsistent strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn first_difference(&self, other: &BitArray) -> Option<usize> {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let diff = a ^ b;
+            if diff != 0 {
+                let bit = w * 64 + diff.trailing_zeros() as usize;
+                if bit < self.len {
+                    return Some(bit);
+                }
+            }
+        }
+        None
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitArray[{}; ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitArray {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitArray::from_bools(&bits)
+    }
+}
+
+/// A bit array together with a mask of which positions are known.
+///
+/// This is each peer's working copy of the input: queried or received bits
+/// are recorded with [`PartialArray::learn`], and the protocol may terminate
+/// once [`PartialArray::unknown_count`] reaches zero.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::PartialArray;
+///
+/// let mut p = PartialArray::new(4);
+/// p.learn(2, true);
+/// assert_eq!(p.unknown_count(), 3);
+/// assert_eq!(p.get(2), Some(true));
+/// assert_eq!(p.get(0), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialArray {
+    values: BitArray,
+    known: BitArray,
+    unknown: usize,
+}
+
+impl PartialArray {
+    /// Creates an array of `len` bits, all unknown.
+    pub fn new(len: usize) -> Self {
+        PartialArray {
+            values: BitArray::zeros(len),
+            known: BitArray::zeros(len),
+            unknown: len,
+        }
+    }
+
+    /// Number of bits (known and unknown).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the array has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of still-unknown bits.
+    #[inline]
+    pub fn unknown_count(&self) -> usize {
+        self.unknown
+    }
+
+    /// Whether every bit is known.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.unknown == 0
+    }
+
+    /// Whether bit `i` is known.
+    #[inline]
+    pub fn is_known(&self, i: usize) -> bool {
+        self.known.get(i)
+    }
+
+    /// The value of bit `i` if known.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if self.known.get(i) {
+            Some(self.values.get(i))
+        } else {
+            None
+        }
+    }
+
+    /// Records the value of bit `i`. Re-learning a known bit keeps the first
+    /// value (values are never overwritten, matching the protocols in the
+    /// paper where honest data is consistent).
+    pub fn learn(&mut self, i: usize, value: bool) {
+        if !self.known.get(i) {
+            self.known.set(i, true);
+            self.values.set(i, value);
+            self.unknown -= 1;
+        }
+    }
+
+    /// Records a contiguous run of bits starting at `offset`.
+    pub fn learn_slice(&mut self, offset: usize, bits: &BitArray) {
+        for i in 0..bits.len() {
+            self.learn(offset + i, bits.get(i));
+        }
+    }
+
+    /// Copies every known bit of `other` into `self`.
+    pub fn merge(&mut self, other: &PartialArray) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        for i in 0..other.len() {
+            if let Some(v) = other.get(i) {
+                self.learn(i, v);
+            }
+        }
+    }
+
+    /// Iterates over indices of unknown bits, in order.
+    pub fn unknown_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(move |&i| !self.known.get(i))
+    }
+
+    /// The known values restricted to `range`, or `None` if any bit in the
+    /// range is unknown.
+    pub fn known_slice(&self, range: Range<usize>) -> Option<BitArray> {
+        if range.clone().all(|i| self.known.get(i)) {
+            Some(self.values.slice(range))
+        } else {
+            None
+        }
+    }
+
+    /// Converts into the completed array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is still unknown.
+    pub fn into_complete(self) -> BitArray {
+        assert!(self.unknown == 0, "{} bits still unknown", self.unknown);
+        self.values
+    }
+
+    /// Borrow of the completed array.
+    ///
+    /// Returns `None` if any bit is still unknown.
+    pub fn as_complete(&self) -> Option<&BitArray> {
+        if self.unknown == 0 {
+            Some(&self.values)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for PartialArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PartialArray[{} bits, {} unknown]",
+            self.len(),
+            self.unknown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_set() {
+        let mut x = BitArray::zeros(130);
+        assert_eq!(x.len(), 130);
+        assert_eq!(x.count_ones(), 0);
+        x.set(0, true);
+        x.set(129, true);
+        assert!(x.get(0));
+        assert!(x.get(129));
+        assert!(!x.get(64));
+        assert_eq!(x.count_ones(), 2);
+    }
+
+    #[test]
+    fn random_is_masked() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = BitArray::random(70, &mut rng);
+        // If the tail were unmasked, equality with a from_fn copy would fail.
+        let y = BitArray::from_fn(70, |i| x.get(i));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn slice_and_write_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = BitArray::random(200, &mut rng);
+        let s = x.slice(50..150);
+        assert_eq!(s.len(), 100);
+        let mut y = BitArray::zeros(200);
+        y.write_at(50, &s);
+        for i in 50..150 {
+            assert_eq!(x.get(i), y.get(i));
+        }
+    }
+
+    #[test]
+    fn first_difference_finds_separating_index() {
+        let a = BitArray::from_bools(&[false, true, false, true]);
+        let b = BitArray::from_bools(&[false, true, true, true]);
+        assert_eq!(a.first_difference(&b), Some(2));
+        assert_eq!(a.first_difference(&a), None);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut x = BitArray::zeros(5);
+        assert!(x.flip(2));
+        assert!(!x.flip(2));
+    }
+
+    #[test]
+    fn partial_learn_and_complete() {
+        let mut p = PartialArray::new(5);
+        assert_eq!(p.unknown_count(), 5);
+        for i in 0..5 {
+            p.learn(i, i % 2 == 0);
+        }
+        assert!(p.is_complete());
+        let done = p.into_complete();
+        assert_eq!(done, BitArray::from_bools(&[true, false, true, false, true]));
+    }
+
+    #[test]
+    fn learn_never_overwrites() {
+        let mut p = PartialArray::new(2);
+        p.learn(0, true);
+        p.learn(0, false);
+        assert_eq!(p.get(0), Some(true));
+        assert_eq!(p.unknown_count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_knowledge() {
+        let mut a = PartialArray::new(4);
+        a.learn(0, true);
+        let mut b = PartialArray::new(4);
+        b.learn(3, false);
+        a.merge(&b);
+        assert_eq!(a.unknown_count(), 2);
+        assert_eq!(a.get(3), Some(false));
+    }
+
+    #[test]
+    fn known_slice_requires_full_knowledge() {
+        let mut p = PartialArray::new(6);
+        p.learn_slice(2, &BitArray::from_bools(&[true, true]));
+        assert!(p.known_slice(2..4).is_some());
+        assert!(p.known_slice(1..4).is_none());
+    }
+
+    #[test]
+    fn unknown_iter_lists_gaps() {
+        let mut p = PartialArray::new(4);
+        p.learn(1, false);
+        let v: Vec<usize> = p.unknown_iter().collect();
+        assert_eq!(v, vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let x = BitArray::zeros(3);
+        x.get(3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when model parameters are inconsistent (e.g. zero peers, or a
+/// fault budget that leaves no nonfaulty peer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParamsError {
+    message: String,
+}
+
+impl InvalidParamsError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        InvalidParamsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model parameters: {}", self.message)
+    }
+}
+
+impl Error for InvalidParamsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_message() {
+        let e = InvalidParamsError::new("boom");
+        assert_eq!(e.to_string(), "invalid model parameters: boom");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<InvalidParamsError>();
+    }
+}

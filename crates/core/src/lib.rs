@@ -1,0 +1,62 @@
+//! Substrate types for the distributed Data Retrieval (DR) model.
+//!
+//! The DR model (Augustine, Chatterjee, King, Kumar, Meir, Peleg —
+//! *Distributed Download from an External Data Source in Asynchronous
+//! Faulty Settings*) consists of `k` peers on a complete asynchronous
+//! message-passing network plus a trusted external data source storing an
+//! `n`-bit array `X`. Peers learn `X` either through expensive, metered
+//! queries to the source or through cheap peer-to-peer messages of at most
+//! `a` bits. Up to `b = βk` peers may be faulty (crash or Byzantine).
+//!
+//! This crate provides the model substrate shared by every other crate in
+//! the workspace:
+//!
+//! * [`PeerId`] / [`PeerSet`] — peer identities and compact peer sets;
+//! * [`BitArray`] / [`PartialArray`] — the input array and each peer's
+//!   partially-known working copy;
+//! * [`Segmentation`] / [`SegmentString`] — the segment machinery of the
+//!   randomized Byzantine protocols (§3.4);
+//! * [`Source`], [`ArraySource`], [`SharedSource`], [`SourceHandle`],
+//!   [`QueryMeter`] — the external source with per-peer query accounting
+//!   (the paper's query-complexity measure `Q`);
+//! * [`Assignment`] — the bit-to-peer responsibility function of the
+//!   crash-fault protocols (§2);
+//! * [`ModelParams`] — validated instance parameters (`n`, `k`, `b`, `a`);
+//! * [`Protocol`] / [`Context`] / [`ProtocolMessage`] — the event-driven
+//!   state-machine abstraction that both the discrete-event simulator
+//!   (`dr-sim`) and the thread runtime (`dr-runtime`) drive.
+//!
+//! # Examples
+//!
+//! ```
+//! use dr_core::{ArraySource, BitArray, ModelParams, PeerId, SharedSource};
+//!
+//! let params = ModelParams::fault_free(64, 4)?;
+//! let input = BitArray::from_fn(params.n(), |i| i % 5 == 0);
+//! let source = SharedSource::new(ArraySource::new(input), params.k());
+//! let handle = source.handle(PeerId(0));
+//! assert!(handle.query(0));
+//! assert_eq!(source.meter().count(PeerId(0)), 1);
+//! # Ok::<(), dr_core::InvalidParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod bits;
+mod error;
+mod params;
+mod peer;
+mod protocol;
+mod segment;
+mod source;
+
+pub use assignment::Assignment;
+pub use bits::{BitArray, PartialArray};
+pub use error::InvalidParamsError;
+pub use params::{FaultModel, ModelParams, ModelParamsBuilder};
+pub use peer::{PeerId, PeerSet};
+pub use protocol::{Context, Protocol, ProtocolMessage};
+pub use segment::{SegmentId, SegmentString, Segmentation};
+pub use source::{ArraySource, QueryMeter, SharedSource, Source, SourceHandle};

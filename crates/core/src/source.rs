@@ -1,0 +1,334 @@
+//! The external data source and per-peer query accounting.
+//!
+//! The DR model's second component is a trusted external source storing the
+//! `n`-bit input array `X`, accessed through queries `Query(i) -> X[i]`.
+//! Queries are the expensive resource: the central complexity measure of the
+//! paper is the maximum number of bits queried by any nonfaulty peer.
+//!
+//! [`Source`] abstracts the read-only array; [`ArraySource`] is the standard
+//! in-memory implementation; [`QueryMeter`] counts queries per peer (and can
+//! optionally record the exact set of indices each peer touched, which the
+//! lower-bound adversaries of §3.1 need); [`SharedSource`] bundles the two
+//! behind an `Arc` so both the simulator and the threaded runtime can hand
+//! out per-peer [`SourceHandle`]s.
+
+use crate::bits::BitArray;
+use crate::peer::PeerId;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Read-only access to the external input array.
+///
+/// Implementations must be deterministic: repeated queries for the same
+/// index return the same bit (the paper's static-data assumption, see §4).
+pub trait Source: Send + Sync {
+    /// Number of bits stored.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `index >= len()`.
+    fn bit(&self, index: usize) -> bool;
+}
+
+impl Source for Box<dyn Source> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn bit(&self, index: usize) -> bool {
+        (**self).bit(index)
+    }
+}
+
+/// The standard in-memory source backed by a [`BitArray`].
+#[derive(Debug, Clone)]
+pub struct ArraySource {
+    bits: BitArray,
+}
+
+impl ArraySource {
+    /// Creates a source over the given input array.
+    pub fn new(bits: BitArray) -> Self {
+        ArraySource { bits }
+    }
+
+    /// Borrow of the underlying input array (for test assertions; real
+    /// peers only see it through queries).
+    pub fn bits(&self) -> &BitArray {
+        &self.bits
+    }
+}
+
+impl Source for ArraySource {
+    fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn bit(&self, index: usize) -> bool {
+        self.bits.get(index)
+    }
+}
+
+/// Per-peer query counters, with optional per-peer index tracking.
+///
+/// Thread-safe: counters are atomics and the optional index log is behind a
+/// mutex, so the threaded runtime can share one meter across peer threads.
+#[derive(Debug)]
+pub struct QueryMeter {
+    counts: Vec<AtomicU64>,
+    index_log: Option<Vec<Mutex<Vec<usize>>>>,
+}
+
+impl QueryMeter {
+    /// Creates a meter for `num_peers` peers, counting only.
+    pub fn new(num_peers: usize) -> Self {
+        QueryMeter {
+            counts: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            index_log: None,
+        }
+    }
+
+    /// Creates a meter that additionally records every queried index per
+    /// peer (needed by the lower-bound adversaries, which must find a bit a
+    /// target peer never queried).
+    pub fn with_index_tracking(num_peers: usize) -> Self {
+        QueryMeter {
+            counts: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            index_log: Some((0..num_peers).map(|_| Mutex::new(Vec::new())).collect()),
+        }
+    }
+
+    /// Records that `peer` queried `index`.
+    pub fn record(&self, peer: PeerId, index: usize) {
+        self.counts[peer.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = &self.index_log {
+            log[peer.index()].lock().push(index);
+        }
+    }
+
+    /// Number of queries made by `peer` so far.
+    pub fn count(&self, peer: PeerId) -> u64 {
+        self.counts[peer.index()].load(Ordering::Relaxed)
+    }
+
+    /// Query counts for every peer, indexed by peer ID.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Maximum query count over the given set of peers (the paper's `Q`
+    /// when restricted to nonfaulty peers).
+    pub fn max_over(&self, peers: impl IntoIterator<Item = PeerId>) -> u64 {
+        peers
+            .into_iter()
+            .map(|p| self.count(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The exact indices `peer` queried, in order, if tracking is enabled.
+    pub fn indices(&self, peer: PeerId) -> Option<Vec<usize>> {
+        self.index_log
+            .as_ref()
+            .map(|log| log[peer.index()].lock().clone())
+    }
+}
+
+/// A source plus its meter, shared by all peers of a run.
+#[derive(Clone)]
+pub struct SharedSource {
+    source: Arc<dyn Source>,
+    meter: Arc<QueryMeter>,
+}
+
+impl SharedSource {
+    /// Bundles a source with a fresh meter for `num_peers` peers.
+    pub fn new(source: impl Source + 'static, num_peers: usize) -> Self {
+        SharedSource {
+            source: Arc::new(source),
+            meter: Arc::new(QueryMeter::new(num_peers)),
+        }
+    }
+
+    /// As [`SharedSource::new`] but with per-peer index tracking enabled.
+    pub fn with_index_tracking(source: impl Source + 'static, num_peers: usize) -> Self {
+        SharedSource {
+            source: Arc::new(source),
+            meter: Arc::new(QueryMeter::with_index_tracking(num_peers)),
+        }
+    }
+
+    /// Number of bits in the underlying source.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Whether the underlying source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// The meter accumulating query counts for this run.
+    pub fn meter(&self) -> &QueryMeter {
+        &self.meter
+    }
+
+    /// Creates the query handle for one peer.
+    pub fn handle(&self, peer: PeerId) -> SourceHandle {
+        SourceHandle {
+            source: Arc::clone(&self.source),
+            meter: Arc::clone(&self.meter),
+            peer,
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedSource[{} bits]", self.source.len())
+    }
+}
+
+/// One peer's metered access to the source.
+///
+/// Every call is charged to the owning peer: `query` costs one bit,
+/// `query_range` costs one bit per bit in the range. This realizes the
+/// paper's query-complexity accounting exactly.
+#[derive(Clone)]
+pub struct SourceHandle {
+    source: Arc<dyn Source>,
+    meter: Arc<QueryMeter>,
+    peer: PeerId,
+}
+
+impl SourceHandle {
+    /// The peer this handle meters.
+    pub fn peer(&self) -> PeerId {
+        self.peer
+    }
+
+    /// Number of bits in the source.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// Queries a single bit (cost: 1).
+    pub fn query(&self, index: usize) -> bool {
+        self.meter.record(self.peer, index);
+        self.source.bit(index)
+    }
+
+    /// Queries a contiguous range of bits (cost: range length).
+    pub fn query_range(&self, range: Range<usize>) -> BitArray {
+        BitArray::from_fn(range.len(), |i| self.query(range.start + i))
+    }
+
+    /// Queries made so far by this handle's peer.
+    pub fn queries_so_far(&self) -> u64 {
+        self.meter.count(self.peer)
+    }
+}
+
+impl std::fmt::Debug for SourceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SourceHandle[{}]", self.peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(n: usize) -> SharedSource {
+        SharedSource::new(
+            ArraySource::new(BitArray::from_fn(n, |i| i % 3 == 0)),
+            4,
+        )
+    }
+
+    #[test]
+    fn query_returns_source_bits() {
+        let s = source(10);
+        let h = s.handle(PeerId(0));
+        assert!(h.query(0));
+        assert!(!h.query(1));
+        assert!(h.query(3));
+    }
+
+    #[test]
+    fn meter_counts_per_peer() {
+        let s = source(10);
+        let h0 = s.handle(PeerId(0));
+        let h1 = s.handle(PeerId(1));
+        h0.query(0);
+        h0.query(1);
+        h1.query(2);
+        assert_eq!(s.meter().count(PeerId(0)), 2);
+        assert_eq!(s.meter().count(PeerId(1)), 1);
+        assert_eq!(s.meter().count(PeerId(2)), 0);
+        assert_eq!(s.meter().counts(), vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn range_query_costs_length() {
+        let s = source(20);
+        let h = s.handle(PeerId(3));
+        let bits = h.query_range(3..9);
+        assert_eq!(bits.len(), 6);
+        assert_eq!(h.queries_so_far(), 6);
+        assert!(bits.get(0)); // index 3 is divisible by 3
+    }
+
+    #[test]
+    fn repeated_queries_are_recounted() {
+        let s = source(5);
+        let h = s.handle(PeerId(0));
+        h.query(1);
+        h.query(1);
+        assert_eq!(h.queries_so_far(), 2);
+    }
+
+    #[test]
+    fn max_over_restricts_to_given_peers() {
+        let s = source(10);
+        s.handle(PeerId(0)).query_range(0..7);
+        s.handle(PeerId(2)).query(1);
+        let honest = [PeerId(1), PeerId(2)];
+        assert_eq!(s.meter().max_over(honest), 1);
+        assert_eq!(s.meter().max_over([PeerId(0)]), 7);
+    }
+
+    #[test]
+    fn index_tracking_records_indices() {
+        let s = SharedSource::with_index_tracking(
+            ArraySource::new(BitArray::zeros(8)),
+            2,
+        );
+        let h = s.handle(PeerId(1));
+        h.query(4);
+        h.query(2);
+        assert_eq!(s.meter().indices(PeerId(1)), Some(vec![4, 2]));
+        assert_eq!(s.meter().indices(PeerId(0)), Some(vec![]));
+    }
+
+    #[test]
+    fn tracking_disabled_returns_none() {
+        let s = source(4);
+        s.handle(PeerId(0)).query(0);
+        assert_eq!(s.meter().indices(PeerId(0)), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Crate-local property tests for `dr-core` invariants.
+
+use dr_core::{ArraySource, Assignment, BitArray, PeerId, PeerSet, SharedSource, Source};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn peerset_roundtrip(universe in 1usize..200, members in prop::collection::vec(0usize..200, 0..40)) {
+        let mut s = PeerSet::new(universe);
+        let mut expected = std::collections::BTreeSet::new();
+        for m in members {
+            let m = m % universe;
+            s.insert(PeerId(m));
+            expected.insert(m);
+        }
+        prop_assert_eq!(s.len(), expected.len());
+        let got: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        let want: Vec<usize> = expected.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn peerset_complement_is_involutive(universe in 1usize..128, members in prop::collection::vec(0usize..128, 0..32)) {
+        let mut s = PeerSet::new(universe);
+        for m in members {
+            s.insert(PeerId(m % universe));
+        }
+        prop_assert_eq!(s.complement().complement(), s);
+    }
+
+    #[test]
+    fn overlap_lemma_for_any_two_large_sets(
+        k in 3usize..40,
+        b_frac in 0.0f64..0.49,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        // Any two sets of size k − b with b < k/2 must intersect
+        // (Observation "Overlap Lemma").
+        let b = (b_frac * k as f64) as usize;
+        let size = k - b;
+        let pick = |seed: u64| {
+            let mut s = PeerSet::new(k);
+            let mut x = seed;
+            while s.len() < size {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s.insert(PeerId((x >> 33) as usize % k));
+            }
+            s
+        };
+        let a = pick(seed_a);
+        let c = pick(seed_b);
+        prop_assert!(a.intersection(&c).len() >= k - 2 * b);
+        prop_assert!(!a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn assignment_reassignment_is_permutation_invariant(
+        n in 1usize..300,
+        k in 1usize..12,
+        picks in prop::collection::vec(0usize..300, 0..30),
+    ) {
+        let mut a = Assignment::round_robin(n, k);
+        let mut b = a.clone();
+        let bits: Vec<usize> = picks.into_iter().map(|p| p % n).collect();
+        let mut rev = bits.clone();
+        rev.reverse();
+        a.reassign_evenly(&bits);
+        b.reassign_evenly(&rev);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_metering_counts_every_access(
+        n in 1usize..500,
+        accesses in prop::collection::vec((0usize..500, 0usize..4), 0..60),
+    ) {
+        let source = SharedSource::new(ArraySource::new(BitArray::zeros(n)), 4);
+        let mut expected = [0u64; 4];
+        for (idx, peer) in accesses {
+            source.handle(PeerId(peer)).query(idx % n);
+            expected[peer] += 1;
+        }
+        prop_assert_eq!(source.meter().counts(), expected.to_vec());
+        let max = expected.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(source.meter().max_over((0..4).map(PeerId)), max);
+    }
+
+    #[test]
+    fn array_source_is_stable(bits in prop::collection::vec(any::<bool>(), 1..200), idx in 0usize..200) {
+        let src = ArraySource::new(BitArray::from_bools(&bits));
+        let i = idx % bits.len();
+        prop_assert_eq!(src.bit(i), bits[i]);
+        prop_assert_eq!(src.bit(i), src.bit(i));
+        prop_assert_eq!(src.len(), bits.len());
+    }
+}

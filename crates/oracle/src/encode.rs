@@ -1,0 +1,71 @@
+//! Encoding oracle value arrays as bit arrays.
+//!
+//! The Download protocols operate on bit arrays; oracle sources store
+//! 64-bit values. The paper notes the binary protocol "can be extended to
+//! numbers via a relatively simple extension" — this module is that
+//! extension: a little-endian fixed-width encoding in both directions.
+
+use dr_core::BitArray;
+
+/// Bits per encoded value.
+pub const BITS_PER_VALUE: usize = 64;
+
+/// Encodes values as a bit array (64 bits per value, little-endian).
+pub fn values_to_bits(values: &[u64]) -> BitArray {
+    let mut bits = BitArray::zeros(values.len() * BITS_PER_VALUE);
+    for (i, &v) in values.iter().enumerate() {
+        for b in 0..BITS_PER_VALUE {
+            if v >> b & 1 == 1 {
+                bits.set(i * BITS_PER_VALUE + b, true);
+            }
+        }
+    }
+    bits
+}
+
+/// Decodes a bit array back into values.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of 64.
+pub fn bits_to_values(bits: &BitArray) -> Vec<u64> {
+    assert!(
+        bits.len().is_multiple_of(BITS_PER_VALUE),
+        "bit length {} not a multiple of {BITS_PER_VALUE}",
+        bits.len()
+    );
+    (0..bits.len() / BITS_PER_VALUE)
+        .map(|i| {
+            let mut v = 0u64;
+            for b in 0..BITS_PER_VALUE {
+                if bits.get(i * BITS_PER_VALUE + b) {
+                    v |= 1 << b;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![0u64, 1, u64::MAX, 0xdead_beef, 42];
+        assert_eq!(bits_to_values(&values_to_bits(&values)), values);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let values: Vec<u64> = vec![];
+        assert_eq!(bits_to_values(&values_to_bits(&values)), values);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_decode_panics() {
+        bits_to_values(&BitArray::zeros(65));
+    }
+}

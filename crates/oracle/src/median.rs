@@ -1,0 +1,64 @@
+//! Median aggregation.
+//!
+//! Blockchain oracles aggregate redundant readings by median: as long as
+//! strictly fewer than half of the aggregated values are adversarial, the
+//! median lies within the range spanned by the honest values — the core
+//! robustness property behind the Oracle Data Delivery guarantee (§4).
+
+/// The lower median of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median(values: &[u64]) -> u64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Whether `value` lies in the closed range spanned by `honest` values.
+///
+/// # Panics
+///
+/// Panics if `honest` is empty.
+pub fn in_honest_range(value: u64, honest: &[u64]) -> bool {
+    let lo = *honest.iter().min().expect("non-empty honest set");
+    let hi = *honest.iter().max().expect("non-empty honest set");
+    (lo..=hi).contains(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 2, 3]), 2); // lower median
+        assert_eq!(median(&[7]), 7);
+    }
+
+    #[test]
+    fn median_resists_minority_corruption() {
+        // 5 honest readings around 100, 4 adversarial extremes.
+        let mut values = vec![99, 100, 100, 101, 102];
+        values.extend([0, 0, u64::MAX, u64::MAX]);
+        let m = median(&values);
+        assert!(in_honest_range(m, &[99, 100, 100, 101, 102]));
+    }
+
+    #[test]
+    fn median_fails_under_majority_corruption() {
+        let mut values = vec![100, 101];
+        values.extend([0, 0, 0]);
+        let m = median(&values);
+        assert!(!in_honest_range(m, &[100, 101]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_median_panics() {
+        median(&[]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic Byzantine Download via committees (§3.3, Theorem 3.4).
+//!
+//! For `β < 1/2` (i.e. `t = b < k/2` Byzantine peers), a committee of
+//! `2t + 1` peers is assigned to every input bit in round-robin order.
+//! Each committee member queries its bit and broadcasts `(index, value)`;
+//! a peer accepts value `x` for bit `j` once `t + 1` *distinct committee
+//! members of* `C_j` reported `x` — at least one of them is honest, so
+//! `x = X[j]`, and since at least `t + 1` committee members are honest,
+//! every peer eventually accepts every bit. Byzantine members can lie or
+//! stay silent but can never assemble `t + 1` votes for a wrong value.
+//!
+//! `Q = ⌈n(2t+1)/k⌉` per peer and `M = O(k · n(2t+1)/k) = O(nt)` vote
+//! messages (batched into one physical message per recipient here, sized
+//! accordingly).
+
+use dr_core::{BitArray, Context, PartialArray, PeerId, Protocol, ProtocolMessage};
+use std::collections::HashMap;
+
+/// A batch of committee votes: a packed bitmap of the sender's claimed
+/// values over its committee-membership bit set, in increasing index
+/// order. The membership set is structural (round-robin), so the receiver
+/// reconstructs the indices locally — messages carry `n·c/k` payload bits
+/// instead of 65 bits per vote.
+#[derive(Debug, Clone)]
+pub struct VoteBatch {
+    /// Claimed values for the sender's committee bits, ascending by index.
+    pub values: BitArray,
+}
+
+impl ProtocolMessage for VoteBatch {
+    fn bit_len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// The committee of bit `j` for `k` peers and committee size `c`:
+/// peers `(j·c + l) mod k` for `l = 0..c` (round-robin, so each peer sits
+/// on at most `⌈n·c/k⌉` committees).
+pub fn committee(j: usize, k: usize, c: usize) -> impl Iterator<Item = PeerId> {
+    (0..c).map(move |l| PeerId((j * c + l) % k))
+}
+
+/// O(1) membership test for [`committee`]: `peer ∈ C_j` iff
+/// `(peer − j·c) mod k < c`.
+pub fn in_committee(j: usize, k: usize, c: usize, peer: PeerId) -> bool {
+    let start = (j * c) % k;
+    let off = (peer.index() + k - start) % k;
+    off < c.min(k)
+}
+
+/// Deterministic Byzantine-tolerant Download via per-bit committees.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::{FaultModel, ModelParams, PeerId};
+/// use dr_protocols::CommitteeDownload;
+/// use dr_sim::{SilentAgent, SimBuilder};
+///
+/// let params = ModelParams::builder(64, 7)
+///     .faults(FaultModel::Byzantine, 2)
+///     .build()?;
+/// let sim = SimBuilder::new(params)
+///     .protocol(|_| CommitteeDownload::new(64, 7, 2))
+///     .byzantine(PeerId(0), SilentAgent::new())
+///     .byzantine(PeerId(1), SilentAgent::new())
+///     .build();
+/// let input = sim.input().clone();
+/// let report = sim.run().unwrap();
+/// report.verify_downloads(&input).unwrap();
+/// # Ok::<(), dr_core::InvalidParamsError>(())
+/// ```
+#[derive(Debug)]
+pub struct CommitteeDownload {
+    n: usize,
+    k: usize,
+    t: usize,
+    acc: PartialArray,
+    out: Option<BitArray>,
+    /// Per-bit vote tally: bit → (value → distinct committee voters).
+    tally: HashMap<usize, [Vec<PeerId>; 2]>,
+}
+
+impl CommitteeDownload {
+    /// Creates an instance for `n` bits, `k` peers, and up to `t < k/2`
+    /// Byzantine peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2t + 1 ≤ k` (honest majority is required for
+    /// deterministic sub-naive Download — Theorem 3.1 shows `β ≥ 1/2`
+    /// forces `Q = n`).
+    pub fn new(n: usize, k: usize, t: usize) -> Self {
+        assert!(2 * t < k, "committee protocol requires t < k/2");
+        CommitteeDownload {
+            n,
+            k,
+            t,
+            acc: PartialArray::new(n),
+            out: None,
+            tally: HashMap::new(),
+        }
+    }
+
+    /// Committee size used by this instance.
+    pub fn committee_size(&self) -> usize {
+        2 * self.t + 1
+    }
+
+    fn member(&self, j: usize, peer: PeerId) -> bool {
+        in_committee(j, self.k, self.committee_size(), peer)
+    }
+
+    fn check_done(&mut self) {
+        if self.out.is_none() && self.acc.is_complete() {
+            self.out = Some(self.acc.clone().into_complete());
+        }
+    }
+
+    fn record_vote(&mut self, from: PeerId, j: usize, value: bool) {
+        if j >= self.n || !self.member(j, from) {
+            return; // non-member votes are ignored outright
+        }
+        let entry = self.tally.entry(j).or_default();
+        let bucket = &mut entry[usize::from(value)];
+        if !bucket.contains(&from) {
+            bucket.push(from);
+        }
+        if entry[usize::from(value)].len() > self.t {
+            self.acc.learn(j, value);
+        }
+    }
+}
+
+impl Protocol for CommitteeDownload {
+    type Msg = VoteBatch;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<VoteBatch>) {
+        let me = ctx.me();
+        let c = self.committee_size();
+        let mut votes = Vec::new();
+        for j in 0..self.n {
+            if in_committee(j, self.k, c, me) {
+                let v = ctx.query(j);
+                self.acc.learn(j, v);
+                votes.push(v);
+            }
+        }
+        ctx.broadcast(VoteBatch {
+            values: BitArray::from_bools(&votes),
+        });
+        self.check_done();
+    }
+
+    fn on_message(&mut self, from: PeerId, msg: VoteBatch, _ctx: &mut dyn Context<VoteBatch>) {
+        if self.out.is_some() {
+            return;
+        }
+        // Decode the packed bitmap against the sender's structural
+        // membership set; a batch of the wrong arity is discarded
+        // wholesale (Byzantine senders gain nothing from malformed
+        // batches — only committee votes are tallied anyway).
+        let c = self.committee_size();
+        let mut r = 0usize;
+        for j in 0..self.n {
+            if in_committee(j, self.k, c, from) {
+                if r >= msg.values.len() {
+                    return;
+                }
+                self.record_vote(from, j, msg.values.get(r));
+                r += 1;
+            }
+        }
+        self.check_done();
+    }
+
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_core::{FaultModel, ModelParams};
+    use dr_sim::{SilentAgent, SimBuilder};
+
+    fn params(n: usize, k: usize, t: usize) -> ModelParams {
+        ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, t)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn committee_rotation_is_balanced() {
+        let n = 100;
+        let k = 9;
+        let c = 5;
+        let mut load = vec![0usize; k];
+        for j in 0..n {
+            for p in committee(j, k, c) {
+                load[p.index()] += 1;
+            }
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(max - min <= 1, "committee load {load:?}");
+        assert_eq!(load.iter().sum::<usize>(), n * c);
+    }
+
+    #[test]
+    fn membership_test_matches_enumeration() {
+        for k in [3usize, 5, 8, 13] {
+            for c in [1usize, 3, 5, 7] {
+                for j in 0..40 {
+                    for p in 0..k {
+                        let by_iter = committee(j, k, c).any(|q| q == PeerId(p));
+                        assert_eq!(
+                            by_iter,
+                            in_committee(j, k, c, PeerId(p)),
+                            "k={k} c={c} j={j} p={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_byzantine_still_works() {
+        let sim = SimBuilder::new(params(80, 5, 2))
+            .seed(1)
+            .protocol(|_| CommitteeDownload::new(80, 5, 2))
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        // Q = n(2t+1)/k = 80·5/5 = 80.
+        assert_eq!(report.max_nonfaulty_queries, 80);
+    }
+
+    #[test]
+    fn silent_byzantine_members_are_tolerated() {
+        let sim = SimBuilder::new(params(60, 7, 2))
+            .seed(2)
+            .protocol(|_| CommitteeDownload::new(60, 7, 2))
+            .byzantine(PeerId(3), SilentAgent::new())
+            .byzantine(PeerId(6), SilentAgent::new())
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+    }
+
+    #[test]
+    fn lying_byzantine_members_cannot_corrupt() {
+        use dr_core::Context;
+
+        /// Votes the complement of the truth on every committee it sits on.
+        struct Liar {
+            n: usize,
+            k: usize,
+            c: usize,
+        }
+        impl Protocol for Liar {
+            type Msg = VoteBatch;
+            fn on_start(&mut self, ctx: &mut dyn Context<VoteBatch>) {
+                let me = ctx.me();
+                let mut votes = Vec::new();
+                for j in 0..self.n {
+                    if committee(j, self.k, self.c).any(|p| p == me) {
+                        let v = ctx.query(j);
+                        votes.push(!v);
+                    }
+                }
+                ctx.broadcast(VoteBatch {
+                    values: BitArray::from_bools(&votes),
+                });
+            }
+            fn on_message(&mut self, _f: PeerId, _m: VoteBatch, _c: &mut dyn Context<VoteBatch>) {}
+            fn output(&self) -> Option<&BitArray> {
+                None
+            }
+        }
+
+        let (n, k, t) = (48, 7, 3);
+        let sim = SimBuilder::new(params(n, k, t))
+            .seed(3)
+            .protocol(move |_| CommitteeDownload::new(n, k, t))
+            .byzantine(PeerId(0), Liar { n, k, c: 2 * t + 1 })
+            .byzantine(PeerId(2), Liar { n, k, c: 2 * t + 1 })
+            .byzantine(PeerId(4), Liar { n, k, c: 2 * t + 1 })
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+    }
+
+    #[test]
+    fn non_member_votes_are_ignored()  {
+        let mut p = CommitteeDownload::new(10, 5, 1);
+        let c = p.committee_size();
+        // Find a peer not on bit 0's committee.
+        let outsider = (0..5)
+            .map(PeerId)
+            .find(|&q| !committee(0, 5, c).any(|m| m == q))
+            .unwrap();
+        p.record_vote(outsider, 0, true);
+        p.record_vote(outsider, 0, true);
+        assert!(!p.acc.is_known(0));
+    }
+
+    #[test]
+    fn query_complexity_scales_with_t() {
+        let n = 120;
+        let k = 12;
+        for t in [0usize, 1, 2, 3, 5] {
+            let sim = SimBuilder::new(params(n, k, t))
+                .seed(4 + t as u64)
+                .protocol(move |_| CommitteeDownload::new(n, k, t))
+                .build();
+            let input = sim.input().clone();
+            let report = sim.run().unwrap();
+            report.verify_downloads(&input).unwrap();
+            let expected = (n * (2 * t + 1)).div_ceil(k) as u64;
+            assert!(
+                report.max_nonfaulty_queries <= expected + 1,
+                "t={t}: Q={} > {expected}",
+                report.max_nonfaulty_queries
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t < k/2")]
+    fn rejects_byzantine_majority() {
+        let _ = CommitteeDownload::new(10, 4, 2);
+    }
+}

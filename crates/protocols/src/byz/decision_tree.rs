@@ -1,0 +1,238 @@
+//! Decision trees over conflicting bit strings (Protocol 3, §3.4.1).
+//!
+//! Given a set `S` of *overlapping* strings (claimed values for the same
+//! input segment), the decision tree picks, at every internal node, the
+//! first *separating index* of two inconsistent strings and splits `S` by
+//! the bit at that index. Walking the tree while querying the source at
+//! each separating index (`determine`) discards every string inconsistent
+//! with the source; if the true segment value is among the leaves, the
+//! walk ends at it after at most `|S| − 1` queries.
+//!
+//! This is the mechanism that lets the randomized protocols tolerate
+//! Byzantine peers *without* honest-majority voting: wrong strings cost
+//! queries, never correctness.
+
+use dr_core::BitArray;
+use std::ops::Range;
+
+/// A decision tree over a set of equal-length strings.
+#[derive(Debug, Clone)]
+pub enum DecisionTree {
+    /// No strings at all (empty input set).
+    Empty,
+    /// A single surviving string.
+    Leaf(BitArray),
+    /// An internal node splitting on a separating index (relative to the
+    /// segment start).
+    Node {
+        /// The separating index within the segment.
+        index: usize,
+        /// Subtree of strings with bit 0 at `index`.
+        zero: Box<DecisionTree>,
+        /// Subtree of strings with bit 1 at `index`.
+        one: Box<DecisionTree>,
+    },
+}
+
+impl DecisionTree {
+    /// Builds a decision tree from a set of overlapping strings
+    /// (Protocol 3). Duplicates are merged; all strings must have equal
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have differing lengths.
+    pub fn build(strings: &[BitArray]) -> Self {
+        let mut set: Vec<BitArray> = Vec::new();
+        for s in strings {
+            if let Some(first) = set.first() {
+                assert_eq!(first.len(), s.len(), "overlapping strings must have equal length");
+            }
+            if !set.contains(s) {
+                set.push(s.clone());
+            }
+        }
+        Self::build_dedup(set)
+    }
+
+    fn build_dedup(set: Vec<BitArray>) -> Self {
+        match set.len() {
+            0 => DecisionTree::Empty,
+            1 => DecisionTree::Leaf(set.into_iter().next().expect("len checked")),
+            _ => {
+                // Pick two inconsistent strings; their first separating
+                // index labels the root.
+                let index = set[0]
+                    .first_difference(&set[1])
+                    .expect("distinct strings must differ somewhere");
+                let (zeros, ones): (Vec<BitArray>, Vec<BitArray>) =
+                    set.into_iter().partition(|s| !s.get(index));
+                DecisionTree::Node {
+                    index,
+                    zero: Box::new(Self::build_dedup(zeros)),
+                    one: Box::new(Self::build_dedup(ones)),
+                }
+            }
+        }
+    }
+
+    /// Number of internal nodes (= number of distinct strings − 1; the
+    /// worst-case query cost of [`DecisionTree::determine`]).
+    pub fn internal_nodes(&self) -> usize {
+        match self {
+            DecisionTree::Empty | DecisionTree::Leaf(_) => 0,
+            DecisionTree::Node { zero, one, .. } => {
+                1 + zero.internal_nodes() + one.internal_nodes()
+            }
+        }
+    }
+
+    /// Number of leaves (distinct strings).
+    pub fn leaves(&self) -> usize {
+        match self {
+            DecisionTree::Empty => 0,
+            DecisionTree::Leaf(_) => 1,
+            DecisionTree::Node { zero, one, .. } => zero.leaves() + one.leaves(),
+        }
+    }
+
+    /// Resolves the conflict by querying the source at each separating
+    /// index along the walk (Procedure `Determine`). `segment` is the
+    /// absolute bit range the strings claim to cover; `query` receives
+    /// absolute source indices and is charged one query per call.
+    ///
+    /// Returns the surviving string, or `None` if the set was empty.
+    /// If the true string was among the leaves, the result *is* the true
+    /// string; otherwise the result is some string consistent with every
+    /// queried separating index.
+    pub fn determine(
+        &self,
+        segment: Range<usize>,
+        query: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<BitArray> {
+        match self {
+            DecisionTree::Empty => None,
+            DecisionTree::Leaf(s) => Some(s.clone()),
+            DecisionTree::Node { index, zero, one } => {
+                let truth = query(segment.start + index);
+                if truth {
+                    one.determine(segment, query)
+                } else {
+                    zero.determine(segment, query)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: &[bool]) -> BitArray {
+        BitArray::from_bools(bits)
+    }
+
+    /// Runs determine against a concrete source array.
+    fn determine_against(tree: &DecisionTree, source: &BitArray, start: usize) -> (Option<BitArray>, usize) {
+        let mut queries = 0;
+        let out = tree.determine(start..start + 4, &mut |j| {
+            queries += 1;
+            source.get(j)
+        });
+        (out, queries)
+    }
+
+    #[test]
+    fn single_string_needs_no_queries() {
+        let tree = DecisionTree::build(&[s(&[true, false, true, false])]);
+        let source = s(&[true, false, true, false]);
+        let (out, queries) = determine_against(&tree, &source, 0);
+        assert_eq!(out.unwrap(), s(&[true, false, true, false]));
+        assert_eq!(queries, 0);
+    }
+
+    #[test]
+    fn empty_set_gives_none() {
+        let tree = DecisionTree::build(&[]);
+        assert!(matches!(tree, DecisionTree::Empty));
+        let source = s(&[false; 4]);
+        assert_eq!(determine_against(&tree, &source, 0).0, None);
+    }
+
+    #[test]
+    fn true_string_survives_against_fakes() {
+        let truth = s(&[true, true, false, false]);
+        let fakes = [
+            s(&[false, true, false, false]),
+            s(&[true, false, true, false]),
+            s(&[true, true, false, true]),
+        ];
+        let mut all = fakes.to_vec();
+        all.push(truth.clone());
+        let tree = DecisionTree::build(&all);
+        let source = truth.clone();
+        let (out, queries) = determine_against(&tree, &source, 0);
+        assert_eq!(out.unwrap(), truth);
+        // Cost ≤ |S| − 1 internal nodes.
+        assert!(queries < all.len());
+        assert_eq!(tree.internal_nodes(), tree.leaves() - 1);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let a = s(&[true, false, false, false]);
+        let tree = DecisionTree::build(&[a.clone(), a.clone(), a.clone()]);
+        assert_eq!(tree.leaves(), 1);
+        assert_eq!(tree.internal_nodes(), 0);
+    }
+
+    #[test]
+    fn segment_offset_is_respected() {
+        // Strings claim segment [8, 12); separating queries must hit the
+        // absolute indices.
+        let truth = s(&[false, true, false, true]);
+        let fake = s(&[false, false, false, true]);
+        let tree = DecisionTree::build(&[fake, truth.clone()]);
+        let mut source = BitArray::zeros(16);
+        for (off, b) in truth.iter().enumerate() {
+            source.set(8 + off, b);
+        }
+        let mut queried = Vec::new();
+        let out = tree.determine(8..12, &mut |j| {
+            queried.push(j);
+            source.get(j)
+        });
+        assert_eq!(out.unwrap(), truth);
+        assert_eq!(queried, vec![9]); // separating index 1, absolute 9
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mixed_lengths_panic() {
+        let _ = DecisionTree::build(&[s(&[true]), s(&[true, false])]);
+    }
+
+    #[test]
+    fn internal_nodes_equal_leaves_minus_one() {
+        // Exhaustive over all subsets of 3-bit strings.
+        let universe: Vec<BitArray> = (0..8u8)
+            .map(|v| BitArray::from_fn(3, |i| v >> i & 1 == 1))
+            .collect();
+        for mask in 1u16..256 {
+            let set: Vec<BitArray> = (0..8)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| universe[i].clone())
+                .collect();
+            let tree = DecisionTree::build(&set);
+            assert_eq!(tree.leaves(), set.len());
+            assert_eq!(tree.internal_nodes(), set.len() - 1);
+            // The true string always survives, whichever it is.
+            for truth in &set {
+                let mut q = |j: usize| truth.get(j);
+                let out = tree.determine(0..3, &mut q).unwrap();
+                assert_eq!(&out, truth, "set mask {mask}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! τ-frequent strings (§3.4.1).
+//!
+//! In the randomized Byzantine protocols, peers broadcast
+//! `(segment, string)` claims. Byzantine peers can flood arbitrary strings,
+//! so a receiver only considers strings it received from at least `τ`
+//! *distinct* senders — the τ-frequent strings. Since each peer sends at
+//! most one claim per segment per cycle, at most `k/τ` distinct strings can
+//! become frequent in total, which bounds the decision-tree work no matter
+//! what the adversary injects.
+
+use dr_core::{BitArray, PeerId, SegmentId};
+use std::collections::HashMap;
+
+/// Accumulates `(segment, string)` claims by sender and extracts the
+/// τ-frequent strings per segment.
+///
+/// Duplicate claims by the same sender for the same segment are ignored
+/// (first claim wins), so a single Byzantine peer cannot inflate a
+/// string's frequency.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::{BitArray, PeerId, SegmentId};
+/// use dr_protocols::byz::FrequencyTable;
+///
+/// let mut table = FrequencyTable::new();
+/// let s = BitArray::from_bools(&[true, false]);
+/// table.record(PeerId(0), SegmentId(3), s.clone());
+/// table.record(PeerId(1), SegmentId(3), s.clone());
+/// table.record(PeerId(1), SegmentId(3), BitArray::from_bools(&[false, false])); // dup sender
+/// assert_eq!(table.frequent(SegmentId(3), 2), vec![s]);
+/// assert!(table.frequent(SegmentId(3), 3).is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FrequencyTable {
+    /// segment → (string → distinct-sender count)
+    counts: HashMap<SegmentId, HashMap<BitArray, usize>>,
+    /// (sender, segment) pairs already recorded.
+    seen: HashMap<(PeerId, SegmentId), ()>,
+    senders: HashMap<PeerId, usize>,
+}
+
+impl FrequencyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FrequencyTable::default()
+    }
+
+    /// Records a claim. Returns `true` if this was the sender's first
+    /// claim for the segment (and was therefore counted).
+    pub fn record(&mut self, sender: PeerId, segment: SegmentId, string: BitArray) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.seen.entry((sender, segment)) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(());
+                *self
+                    .counts
+                    .entry(segment)
+                    .or_default()
+                    .entry(string)
+                    .or_insert(0) += 1;
+                *self.senders.entry(sender).or_insert(0) += 1;
+                true
+            }
+        }
+    }
+
+    /// The `Freq(S, τ)` operator of the paper: every string for `segment`
+    /// recorded by at least `threshold` distinct senders, in an arbitrary
+    /// but deterministic order (sorted by packed bits for reproducibility).
+    pub fn frequent(&self, segment: SegmentId, threshold: usize) -> Vec<BitArray> {
+        let mut out: Vec<BitArray> = self
+            .counts
+            .get(&segment)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, &c)| c >= threshold)
+                    .map(|(s, _)| s.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|s| s.iter().collect::<Vec<bool>>());
+        out
+    }
+
+    /// Number of distinct strings recorded for `segment` (frequent or not).
+    pub fn distinct(&self, segment: SegmentId) -> usize {
+        self.counts.get(&segment).map_or(0, |m| m.len())
+    }
+
+    /// Total number of claims recorded for `segment` (the paper's `R_i`).
+    pub fn received(&self, segment: SegmentId) -> usize {
+        self.counts
+            .get(&segment)
+            .map_or(0, |m| m.values().sum())
+    }
+
+    /// Number of distinct peers that have made at least one claim.
+    pub fn distinct_senders(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(bits: &[bool]) -> BitArray {
+        BitArray::from_bools(bits)
+    }
+
+    #[test]
+    fn counts_distinct_senders_only() {
+        let mut t = FrequencyTable::new();
+        let a = s(&[true]);
+        assert!(t.record(PeerId(0), SegmentId(0), a.clone()));
+        assert!(!t.record(PeerId(0), SegmentId(0), a.clone()));
+        assert!(t.record(PeerId(1), SegmentId(0), a.clone()));
+        assert_eq!(t.received(SegmentId(0)), 2);
+        assert_eq!(t.frequent(SegmentId(0), 2), vec![a]);
+    }
+
+    #[test]
+    fn equivocation_across_segments_is_allowed() {
+        // The same sender may claim different segments (multi-cycle use).
+        let mut t = FrequencyTable::new();
+        assert!(t.record(PeerId(0), SegmentId(0), s(&[true])));
+        assert!(t.record(PeerId(0), SegmentId(1), s(&[false])));
+        assert_eq!(t.distinct_senders(), 1);
+    }
+
+    #[test]
+    fn threshold_filters_rare_strings() {
+        let mut t = FrequencyTable::new();
+        for p in 0..5 {
+            t.record(PeerId(p), SegmentId(2), s(&[true, true]));
+        }
+        for p in 5..7 {
+            t.record(PeerId(p), SegmentId(2), s(&[false, false]));
+        }
+        assert_eq!(t.frequent(SegmentId(2), 3), vec![s(&[true, true])]);
+        let both = t.frequent(SegmentId(2), 2);
+        assert_eq!(both.len(), 2);
+        assert_eq!(t.distinct(SegmentId(2)), 2);
+    }
+
+    #[test]
+    fn spam_bound_holds() {
+        // b Byzantine senders can create at most b/τ frequent fake strings.
+        let mut t = FrequencyTable::new();
+        let tau = 3;
+        let b = 10;
+        // Adversary coordinates groups of τ senders per fake string.
+        for (i, p) in (0..b).enumerate() {
+            let fake = s(&[i / tau == 0, i / tau == 1, i / tau == 2, true]);
+            t.record(PeerId(p), SegmentId(9), fake);
+        }
+        let frequent = t.frequent(SegmentId(9), tau);
+        assert!(frequent.len() <= b / tau);
+    }
+
+    #[test]
+    fn empty_segment_has_no_frequent_strings() {
+        let t = FrequencyTable::new();
+        assert!(t.frequent(SegmentId(4), 1).is_empty());
+        assert_eq!(t.received(SegmentId(4)), 0);
+    }
+}

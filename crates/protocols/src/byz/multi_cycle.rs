@@ -1,0 +1,395 @@
+//! The multi-cycle randomized Byzantine Download protocol (§3.4.3,
+//! Theorem 3.12).
+//!
+//! Cycle 1 is the 2-cycle protocol's sampling step over `p₁` segments
+//! (`p₁` a power of two). In every later cycle `c`, the segment size
+//! doubles (`p_c = p₁ / 2^{c−1}`): each peer samples one cycle-`c` segment
+//! uniformly, *determines* its two cycle-`(c−1)` halves by decision trees
+//! over the τ-frequent cycle-`(c−1)` claims (Lemma 3.10: those halves were
+//! each sampled by ≥ τ heard honest peers w.h.p., so the true strings are
+//! leaves), concatenates, and broadcasts the result. After
+//! `log₂ p₁ + 1` cycles the sampled segment is the entire input and the
+//! peer outputs it.
+//!
+//! Every cycle's wait is for claims from `k − b` distinct peers, so
+//! `β < 1/2` guarantees `k − 2b ≥ 1` honest claims per wait and the whole
+//! protocol is deadlock-free. The expected per-peer query cost is
+//! `ℓ₁ + O(Σ_c received_c / p_c)` — `Õ(n/k + k)` for the paper's
+//! parameters.
+
+use super::decision_tree::DecisionTree;
+use super::frequent::FrequencyTable;
+use super::segment_msg::SegmentMsg;
+use dr_core::{BitArray, Context, PeerId, Protocol, SegmentId, Segmentation};
+use rand::Rng;
+
+/// Parameter selection for the multi-cycle protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MultiCyclePlan {
+    /// Sampled mode.
+    Sampled {
+        /// Cycle-1 segment count (a power of two ≥ 2).
+        initial_segments: usize,
+        /// Frequency threshold τ.
+        threshold: usize,
+        /// Total number of cycles (`log₂ initial_segments + 1`).
+        cycles: u32,
+    },
+    /// Degenerate regime: query everything directly.
+    Naive,
+}
+
+impl MultiCyclePlan {
+    /// Chooses parameters for `n` bits, `k` peers, `b` Byzantine peers,
+    /// falling back to naive when sampling cannot work (`β ≥ 1/2` or too
+    /// few honest peers per segment).
+    pub fn choose(n: usize, k: usize, b: usize) -> Self {
+        if 2 * b >= k {
+            return MultiCyclePlan::Naive;
+        }
+        let h = k - 2 * b;
+        let tau = super::two_cycle::TwoCyclePlan::default_threshold(n, k);
+        let p_max = (h / (2 * tau)).min(n);
+        if p_max < 2 {
+            return MultiCyclePlan::Naive;
+        }
+        // Largest power of two ≤ p_max.
+        let p1 = 1usize << (usize::BITS - 1 - p_max.leading_zeros());
+        MultiCyclePlan::Sampled {
+            initial_segments: p1,
+            threshold: tau,
+            cycles: p1.trailing_zeros() + 1,
+        }
+    }
+}
+
+/// The multi-cycle randomized protocol of Theorem 3.12 (`β < 1/2`).
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::{FaultModel, ModelParams};
+/// use dr_protocols::MultiCycleDownload;
+/// use dr_sim::SimBuilder;
+///
+/// let (n, k, b) = (4096, 96, 8);
+/// let params = ModelParams::builder(n, k)
+///     .faults(FaultModel::Byzantine, b)
+///     .build()?;
+/// let sim = SimBuilder::new(params)
+///     .seed(2)
+///     .protocol(move |_| MultiCycleDownload::new(n, k, b))
+///     .build();
+/// let input = sim.input().clone();
+/// let report = sim.run().unwrap();
+/// report.verify_downloads(&input).unwrap();
+/// # Ok::<(), dr_core::InvalidParamsError>(())
+/// ```
+#[derive(Debug)]
+pub struct MultiCycleDownload {
+    n: usize,
+    k: usize,
+    b: usize,
+    plan: MultiCyclePlan,
+    /// Current cycle (1-based); claims for cycle `c` live at index `c−1`.
+    cycle: u32,
+    tables: Vec<FrequencyTable>,
+    heard: Vec<Vec<bool>>,
+    my_pick: Vec<Option<SegmentId>>,
+    my_value: Vec<Option<BitArray>>,
+    out: Option<BitArray>,
+    fallback_segments: usize,
+}
+
+impl MultiCycleDownload {
+    /// Creates an instance with automatically chosen parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `b >= k`.
+    pub fn new(n: usize, k: usize, b: usize) -> Self {
+        Self::with_plan(n, k, b, MultiCyclePlan::choose(n, k, b))
+    }
+
+    /// Creates an instance with an explicit plan (for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent plans (non-power-of-two segment count, more
+    /// segments than bits, or a cycle count that does not match).
+    pub fn with_plan(n: usize, k: usize, b: usize, plan: MultiCyclePlan) -> Self {
+        assert!(k > 0, "need at least one peer");
+        assert!(b < k, "fault budget must leave one nonfaulty peer");
+        let cycles = match plan {
+            MultiCyclePlan::Sampled {
+                initial_segments,
+                cycles,
+                ..
+            } => {
+                assert!(initial_segments.is_power_of_two() && initial_segments >= 2);
+                assert!(initial_segments <= n, "more segments than bits");
+                assert_eq!(cycles, initial_segments.trailing_zeros() + 1);
+                cycles as usize
+            }
+            MultiCyclePlan::Naive => 0,
+        };
+        MultiCycleDownload {
+            n,
+            k,
+            b,
+            plan,
+            cycle: 1,
+            tables: (0..cycles).map(|_| FrequencyTable::new()).collect(),
+            heard: (0..cycles).map(|_| vec![false; k]).collect(),
+            my_pick: vec![None; cycles],
+            my_value: vec![None; cycles],
+            out: None,
+            fallback_segments: 0,
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> MultiCyclePlan {
+        self.plan
+    }
+
+    /// Number of half-segments resolved by direct queries (0 w.h.p.).
+    pub fn fallback_segments(&self) -> usize {
+        self.fallback_segments
+    }
+
+    fn plan_parts(&self) -> (usize, usize, u32) {
+        match self.plan {
+            MultiCyclePlan::Sampled {
+                initial_segments,
+                threshold,
+                cycles,
+            } => (initial_segments, threshold, cycles),
+            MultiCyclePlan::Naive => unreachable!("sampled mode only"),
+        }
+    }
+
+    /// Segmentation used in the given 1-based cycle.
+    fn segmentation(&self, cycle: u32) -> Segmentation {
+        let (p1, _, _) = self.plan_parts();
+        Segmentation::new(self.n, p1 >> (cycle - 1))
+    }
+
+    /// Resolves one cycle-`c` segment from the cycle-`c` claim table,
+    /// using direct queries as the low-probability fallback.
+    fn resolve_child(
+        &mut self,
+        cycle: u32,
+        child: SegmentId,
+        ctx: &mut dyn Context<SegmentMsg>,
+    ) -> BitArray {
+        if self.my_pick[cycle as usize - 1] == Some(child) {
+            return self.my_value[cycle as usize - 1]
+                .clone()
+                .expect("own pick resolved in its cycle");
+        }
+        let (_, tau, _) = self.plan_parts();
+        let seg = self.segmentation(cycle);
+        let range = seg.range(child);
+        let frequent = self.tables[cycle as usize - 1].frequent(child, tau);
+        let tree = DecisionTree::build(&frequent);
+        match tree.determine(range.clone(), &mut |j| ctx.query(j)) {
+            Some(bits) if bits.len() == range.len() => bits,
+            _ => {
+                self.fallback_segments += 1;
+                ctx.query_range(range)
+            }
+        }
+    }
+
+    fn heard_count(&self, cycle: u32) -> usize {
+        self.heard[cycle as usize - 1]
+            .iter()
+            .filter(|&&h| h)
+            .count()
+    }
+
+    /// Advances through every cycle whose wait condition is satisfied.
+    fn advance(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        let (_, _, cycles) = self.plan_parts();
+        while self.out.is_none()
+            && self.cycle < cycles
+            && self.heard_count(self.cycle) >= self.k - self.b
+        {
+            let next = self.cycle + 1;
+            let seg_next = self.segmentation(next);
+            let pick = SegmentId(ctx.rng().gen_range(0..seg_next.count()));
+            let left = SegmentId(2 * pick.index());
+            let right = SegmentId(2 * pick.index() + 1);
+            let mut bits = self.resolve_child(self.cycle, left, ctx);
+            let right_bits = self.resolve_child(self.cycle, right, ctx);
+            let mut joined = BitArray::zeros(bits.len() + right_bits.len());
+            joined.write_at(0, &bits);
+            joined.write_at(bits.len(), &right_bits);
+            bits = joined;
+            debug_assert_eq!(bits.len(), seg_next.len_of(pick));
+            self.cycle = next;
+            self.my_pick[next as usize - 1] = Some(pick);
+            self.my_value[next as usize - 1] = Some(bits.clone());
+            if next == cycles {
+                // The final segment is the whole input; no one consumes
+                // cycle-C claims, so terminate without broadcasting.
+                self.out = Some(bits);
+            } else {
+                self.tables[next as usize - 1].record(ctx.me(), pick, bits.clone());
+                self.heard[next as usize - 1][ctx.me().index()] = true;
+                ctx.broadcast(SegmentMsg {
+                    cycle: next,
+                    segment: pick,
+                    bits,
+                });
+            }
+        }
+    }
+}
+
+impl Protocol for MultiCycleDownload {
+    type Msg = SegmentMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        if matches!(self.plan, MultiCyclePlan::Naive) {
+            self.out = Some(ctx.query_range(0..self.n));
+            return;
+        }
+        let seg = self.segmentation(1);
+        let pick = SegmentId(ctx.rng().gen_range(0..seg.count()));
+        let bits = ctx.query_range(seg.range(pick));
+        self.my_pick[0] = Some(pick);
+        self.my_value[0] = Some(bits.clone());
+        self.tables[0].record(ctx.me(), pick, bits.clone());
+        self.heard[0][ctx.me().index()] = true;
+        ctx.broadcast(SegmentMsg {
+            cycle: 1,
+            segment: pick,
+            bits,
+        });
+        self.advance(ctx);
+    }
+
+    fn on_message(&mut self, from: PeerId, msg: SegmentMsg, ctx: &mut dyn Context<SegmentMsg>) {
+        if self.out.is_some() || matches!(self.plan, MultiCyclePlan::Naive) {
+            return;
+        }
+        let (_, _, cycles) = self.plan_parts();
+        let c = msg.cycle as usize;
+        if (1..cycles as usize).contains(&c) {
+            if !self.heard[c - 1][from.index()] {
+                self.heard[c - 1][from.index()] = true;
+                let seg = self.segmentation(msg.cycle);
+                if msg.segment.index() < seg.count() && msg.bits.len() == seg.len_of(msg.segment) {
+                    self.tables[c - 1].record(from, msg.segment, msg.bits);
+                }
+            }
+            self.advance(ctx);
+        }
+    }
+
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byz::strategies::{CollusionGroup, RandomNoise};
+    use dr_core::{FaultModel, ModelParams};
+    use dr_sim::{RunReport, SilentAgent, SimBuilder};
+
+    fn params(n: usize, k: usize, b: usize) -> ModelParams {
+        ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, b)
+            .build()
+            .unwrap()
+    }
+
+    fn run_benign(seed: u64, n: usize, k: usize, b: usize) -> (RunReport, BitArray) {
+        let sim = SimBuilder::new(params(n, k, b))
+            .seed(seed)
+            .protocol(move |_| MultiCycleDownload::new(n, k, b))
+            .build();
+        let input = sim.input().clone();
+        (sim.run().unwrap(), input)
+    }
+
+    #[test]
+    fn plan_initial_segments_is_power_of_two() {
+        match MultiCyclePlan::choose(1 << 16, 512, 64) {
+            MultiCyclePlan::Sampled {
+                initial_segments,
+                cycles,
+                ..
+            } => {
+                assert!(initial_segments.is_power_of_two());
+                assert_eq!(cycles, initial_segments.trailing_zeros() + 1);
+            }
+            MultiCyclePlan::Naive => panic!("expected sampled plan"),
+        }
+    }
+
+    #[test]
+    fn plan_majority_faults_degrades_to_naive() {
+        assert_eq!(MultiCyclePlan::choose(1 << 16, 64, 32), MultiCyclePlan::Naive);
+    }
+
+    #[test]
+    fn all_honest_run_completes_correctly() {
+        let (n, k) = (1 << 14, 160);
+        let (report, input) = run_benign(1, n, k, 0);
+        report.verify_downloads(&input).unwrap();
+        assert!(
+            report.max_nonfaulty_queries < (n / 2) as u64,
+            "Q = {}",
+            report.max_nonfaulty_queries
+        );
+    }
+
+    #[test]
+    fn byzantine_mix_is_tolerated() {
+        let (n, k, b) = (1 << 13, 128, 16);
+        let plan = MultiCyclePlan::choose(n, k, b);
+        let p1 = match plan {
+            MultiCyclePlan::Sampled {
+                initial_segments, ..
+            } => initial_segments,
+            MultiCyclePlan::Naive => panic!("expected sampled"),
+        };
+        let seg = Segmentation::new(n, p1);
+        let mut builder = SimBuilder::new(params(n, k, b))
+            .seed(2)
+            .protocol(move |_| MultiCycleDownload::new(n, k, b));
+        for i in 0..6 {
+            builder = builder.byzantine(PeerId(i), SilentAgent::new());
+        }
+        for i in 6..11 {
+            builder = builder.byzantine(PeerId(i), CollusionGroup::new(seg, SegmentId(0), 3));
+        }
+        for i in 11..16 {
+            builder = builder.byzantine(PeerId(i), RandomNoise::new(seg));
+        }
+        let sim = builder.build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+    }
+
+    #[test]
+    fn reproducible_under_same_seed() {
+        let (r1, _) = run_benign(7, 1 << 12, 96, 8);
+        let (r2, _) = run_benign(7, 1 << 12, 96, 8);
+        assert_eq!(r1.query_counts, r2.query_counts);
+        assert_eq!(r1.virtual_time_ticks, r2.virtual_time_ticks);
+    }
+
+    #[test]
+    fn naive_fallback_for_small_networks() {
+        let (report, input) = run_benign(3, 512, 8, 2);
+        report.verify_downloads(&input).unwrap();
+        assert_eq!(report.max_nonfaulty_queries, 512);
+    }
+}

@@ -1,0 +1,246 @@
+//! A library of Byzantine behaviours for the randomized protocols.
+//!
+//! Byzantine peers "can deviate from the protocol in arbitrary ways"
+//! (§1.2). These behaviours realize the attack patterns that actually
+//! stress the §3.4 machinery: staying silent, equivocating different
+//! strings to different receivers, and coordinated groups pushing the same
+//! fake string past the frequency threshold τ to inflate decision trees.
+//!
+//! All behaviours speak [`SegmentMsg`], the message type of the
+//! randomized protocols, and are usable via
+//! [`SimBuilder::byzantine`](dr_sim::SimBuilder::byzantine).
+
+use super::segment_msg::SegmentMsg;
+use dr_core::{BitArray, Context, PeerId, Protocol, SegmentId, Segmentation};
+use rand::Rng;
+
+/// Sends, to every peer, a uniformly random string for a random segment —
+/// unfocused noise that the frequency threshold should filter entirely.
+#[derive(Debug)]
+pub struct RandomNoise {
+    seg: Segmentation,
+}
+
+impl RandomNoise {
+    /// Creates the behaviour for the given cycle-1 segmentation.
+    pub fn new(seg: Segmentation) -> Self {
+        RandomNoise { seg }
+    }
+}
+
+impl Protocol for RandomNoise {
+    type Msg = SegmentMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        let pick = ctx.rng().next_u64() as usize % self.seg.count();
+        let len = self.seg.len_of(SegmentId(pick));
+        let bits = {
+            let rng = ctx.rng();
+            BitArray::from_fn(len, |_| rng.gen())
+        };
+        ctx.broadcast(SegmentMsg {
+            cycle: 1,
+            segment: SegmentId(pick),
+            bits,
+        });
+    }
+
+    fn on_message(&mut self, _f: PeerId, _m: SegmentMsg, _c: &mut dyn Context<SegmentMsg>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+/// Claims the segment it "queried" but with every bit flipped, sending
+/// *different* corruptions to different peers (equivocation).
+#[derive(Debug)]
+pub struct Equivocator {
+    seg: Segmentation,
+    /// Segment this peer pretends to have sampled.
+    pick: SegmentId,
+}
+
+impl Equivocator {
+    /// Creates the behaviour, pretending to sample `pick`.
+    pub fn new(seg: Segmentation, pick: SegmentId) -> Self {
+        Equivocator { seg, pick }
+    }
+}
+
+impl Protocol for Equivocator {
+    type Msg = SegmentMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        let range = self.seg.range(self.pick);
+        let truth = ctx.query_range(range);
+        let k = ctx.num_peers();
+        let me = ctx.me();
+        for p in 0..k {
+            if p == me.index() {
+                continue;
+            }
+            // A per-receiver corruption: flip bit (p mod len).
+            let mut bits = truth.clone();
+            if !bits.is_empty() {
+                bits.flip(p % bits.len());
+            }
+            ctx.send(
+                PeerId(p),
+                SegmentMsg {
+                    cycle: 1,
+                    segment: self.pick,
+                    bits,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, _f: PeerId, _m: SegmentMsg, _c: &mut dyn Context<SegmentMsg>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+/// A member of a coordinated group that pushes one agreed-upon fake string
+/// for one segment, so the fake becomes τ-frequent at every receiver when
+/// the group has at least τ members. This forces extra decision-tree
+/// queries (but never wrong outputs).
+#[derive(Debug)]
+pub struct CollusionGroup {
+    seg: Segmentation,
+    target: SegmentId,
+    /// Group identifier; all members derive the same fake string from it.
+    group_seed: u64,
+}
+
+impl CollusionGroup {
+    /// Creates a member of the group attacking `target`.
+    pub fn new(seg: Segmentation, target: SegmentId, group_seed: u64) -> Self {
+        CollusionGroup {
+            seg,
+            target,
+            group_seed,
+        }
+    }
+
+    /// The group's agreed-upon fake string (a keyed pseudo-random pattern,
+    /// identical for all members).
+    pub fn fake_string(&self) -> BitArray {
+        let len = self.seg.len_of(self.target);
+        let seed = self.group_seed;
+        BitArray::from_fn(len, |i| {
+            (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64)).is_multiple_of(3)
+        })
+    }
+}
+
+impl Protocol for CollusionGroup {
+    type Msg = SegmentMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        ctx.broadcast(SegmentMsg {
+            cycle: 1,
+            segment: self.target,
+            bits: self.fake_string(),
+        });
+    }
+
+    fn on_message(&mut self, _f: PeerId, _m: SegmentMsg, _c: &mut dyn Context<SegmentMsg>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+/// Crash-mimicking behaviour: queries and claims its segment honestly but
+/// delivers the claim to only the first `reach` peers, then goes silent —
+/// the Byzantine analogue of a mid-broadcast crash, designed to skew
+/// which peers see the claim (and stress the `k − b` wait thresholds).
+#[derive(Debug)]
+pub struct HalfBroadcast {
+    seg: Segmentation,
+    pick: SegmentId,
+    reach: usize,
+}
+
+impl HalfBroadcast {
+    /// Creates the behaviour, claiming `pick` to the first `reach` peers
+    /// only.
+    pub fn new(seg: Segmentation, pick: SegmentId, reach: usize) -> Self {
+        HalfBroadcast { seg, pick, reach }
+    }
+}
+
+impl Protocol for HalfBroadcast {
+    type Msg = SegmentMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
+        let bits = ctx.query_range(self.seg.range(self.pick));
+        let me = ctx.me();
+        let mut sent = 0;
+        for p in 0..ctx.num_peers() {
+            if p == me.index() {
+                continue;
+            }
+            if sent >= self.reach {
+                break;
+            }
+            ctx.send(
+                PeerId(p),
+                SegmentMsg {
+                    cycle: 1,
+                    segment: self.pick,
+                    bits: bits.clone(),
+                },
+            );
+            sent += 1;
+        }
+    }
+
+    fn on_message(&mut self, _f: PeerId, _m: SegmentMsg, _c: &mut dyn Context<SegmentMsg>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collusion_members_agree_on_fake() {
+        let seg = Segmentation::new(64, 4);
+        let a = CollusionGroup::new(seg, SegmentId(1), 7);
+        let b = CollusionGroup::new(seg, SegmentId(1), 7);
+        assert_eq!(a.fake_string(), b.fake_string());
+        let c = CollusionGroup::new(seg, SegmentId(1), 8);
+        assert_ne!(a.fake_string(), c.fake_string());
+    }
+
+    #[test]
+    fn half_broadcast_is_tolerated_by_two_cycle() {
+        use crate::TwoCycleDownload;
+        use dr_core::{FaultModel, ModelParams};
+        use dr_sim::SimBuilder;
+
+        let (n, k, b) = (1usize << 13, 96usize, 10usize);
+        let seg = Segmentation::new(n, 4);
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, b)
+            .build()
+            .unwrap();
+        let mut builder = SimBuilder::new(params)
+            .seed(8)
+            .protocol(move |_| TwoCycleDownload::new(n, k, b));
+        for i in 0..b {
+            builder = builder.byzantine(PeerId(i), HalfBroadcast::new(seg, SegmentId(i % 4), k / 2));
+        }
+        let sim = builder.build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! Deterministic crash-fault Download protocols (§2 of the paper).
+
+mod multi;
+mod owner;
+mod single;
+
+pub use multi::{CrashMultiDownload, MultiCrashMsg};
+pub use owner::owner;
+pub use single::{SingleCrashDownload, SingleCrashMsg};

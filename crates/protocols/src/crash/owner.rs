@@ -1,0 +1,123 @@
+//! The canonical per-phase bit-ownership function of Algorithm 2.
+//!
+//! Algorithm 2's correctness hinges on Claim 1: two honest peers either
+//! assign a bit to the same peer, or one of them already knows it. The
+//! paper achieves this with a deterministic even reassignment in stage 3.
+//! We realize it with a *global* ownership function `owner(j, phase, k)`
+//! — a pure function of the bit index, phase, and peer count — so that
+//! agreement is structural: every peer's phase-`i` assignment of its
+//! unknown bits is `owner(·, i)` regardless of execution history, making
+//! the first disjunct of Claim 1 hold identically for all unknown bits.
+//!
+//! Phase 1 is the balanced round-robin `j mod k` of the paper. Later
+//! phases use a `splitmix64`-style hash of `(j, phase)`: each phase deals
+//! any unknown set out in fresh, phase-independent proportions, so a bit
+//! whose current owner has crashed lands on a live owner with probability
+//! `1 − β` in the next phase — the geometric `β`-shrink of the unknown
+//! set that Lemma 2.11's query bound rests on. (A fixed digit-based
+//! rotation cannot do this: with only `log_k n` digit positions, an
+//! adversary that crashes the right `k/2` peers can leave a quarter of
+//! the input permanently assigned to dead owners.)
+
+/// `splitmix64` finalizer: a high-quality 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The peer responsible for querying bit `j` in the given 1-based phase.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `phase == 0`.
+pub fn owner(j: usize, phase: usize, k: usize) -> usize {
+    assert!(k > 0, "k must be positive");
+    assert!(phase > 0, "phases are 1-based");
+    if phase == 1 {
+        j % k
+    } else {
+        (splitmix64(j as u64 ^ (phase as u64).wrapping_mul(0xa076_1d64_78bd_642f)) % k as u64)
+            as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_one_is_round_robin() {
+        for j in 0..100 {
+            assert_eq!(owner(j, 1, 7), j % 7);
+        }
+    }
+
+    #[test]
+    fn later_phases_are_roughly_balanced() {
+        let k = 8;
+        let n = 8192;
+        for phase in 2..8 {
+            let mut load = vec![0usize; k];
+            for j in 0..n {
+                load[owner(j, phase, k)] += 1;
+            }
+            let expect = n / k;
+            for (p, &l) in load.iter().enumerate() {
+                assert!(
+                    l > expect / 2 && l < expect * 2,
+                    "phase {phase} peer {p} load {l} far from {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_owner_sets_drain_geometrically() {
+        // The scenario that breaks digit-based schemes: peers 0..k/2
+        // crash; their phase-1 bits must not stay stuck on dead owners.
+        let k = 32;
+        let n = 8192;
+        let dead = |p: usize| p < k / 2;
+        let mut unknown: Vec<usize> = (0..n).filter(|&j| dead(owner(j, 1, k))).collect();
+        for phase in 2..12 {
+            let before = unknown.len();
+            unknown.retain(|&j| dead(owner(j, phase, k)));
+            // Expect roughly a β = 1/2 shrink; allow generous slack.
+            assert!(
+                unknown.len() < before * 3 / 4 + 8,
+                "phase {phase}: {before} -> {} (stuck)",
+                unknown.len()
+            );
+            if unknown.is_empty() {
+                return;
+            }
+        }
+        assert!(
+            unknown.len() < n / k,
+            "unknown set failed to drain: {} left",
+            unknown.len()
+        );
+    }
+
+    #[test]
+    fn owner_is_globally_consistent() {
+        // Pure function of (j, phase, k) — the Claim 1 mechanism.
+        for j in [0usize, 3, 17, 999] {
+            for phase in 1..6 {
+                assert_eq!(owner(j, phase, 8), owner(j, phase, 8));
+            }
+        }
+    }
+
+    #[test]
+    fn different_phases_give_different_deals() {
+        let k = 16;
+        let same: usize = (0..1000)
+            .filter(|&j| owner(j, 2, k) == owner(j, 3, k))
+            .count();
+        // Independent uniform deals agree on ~1/k of the bits.
+        assert!(same < 1000 / 4, "phases 2 and 3 deal almost identically");
+    }
+}

@@ -1,0 +1,310 @@
+//! The two-execution indistinguishability attacks of §3.1.
+
+use super::fake_source::FakeSourceAgent;
+use dr_core::{BitArray, ModelParams, PeerId, Protocol};
+use dr_sim::SimBuilder;
+
+/// Result of one [`deterministic_attack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The target queried every bit; no attack exists (the protocol pays
+    /// `Q = n`, as Theorem 3.1 says it must).
+    FullyQueried {
+        /// The target's query count (≥ n).
+        queries: u64,
+    },
+    /// The target terminated with a wrong bit at `flipped_index` — the
+    /// execution pair of Theorem 3.1 realized.
+    Violated {
+        /// The bit the adversary flipped (never queried by the target).
+        flipped_index: usize,
+        /// The target's query count (< n).
+        queries: u64,
+    },
+    /// The target failed to terminate in the attack execution (it blocked
+    /// forever on traffic the adversary withheld). Termination violations
+    /// also contradict the Download specification.
+    NoTermination {
+        /// The bit the adversary flipped.
+        flipped_index: usize,
+    },
+}
+
+/// Runs the Theorem 3.1 construction against a *deterministic* protocol.
+///
+/// Execution `E_F` (reconnaissance): all peers honest, input all-zeros;
+/// record which bits the `target` queries. If some bit `i*` was never
+/// queried, run the attack execution `E′`: the real input flips `i*`,
+/// every peer except the target is corrupted and *simulates* the honest
+/// protocol against the fabricated all-zeros input
+/// ([`FakeSourceAgent`]). Determinism makes `E′` indistinguishable from
+/// `E_F` for the target, which therefore outputs 0 at `i*` — a wrong bit.
+///
+/// The coalition size is `k − 1` (`β = (k−1)/k ≥ 1/2` for every `k ≥ 2`),
+/// the regime of Theorem 3.1.
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails (event-limit) — not expected for
+/// terminating protocols.
+pub fn deterministic_attack<P, F>(
+    n: usize,
+    k: usize,
+    target: PeerId,
+    mut factory: F,
+    seed: u64,
+) -> AttackOutcome
+where
+    P: Protocol + 'static,
+    F: FnMut(PeerId) -> P + Clone + 'static,
+{
+    let zeros = BitArray::zeros(n);
+
+    // Reconnaissance execution E_F: honest run on the all-zeros input.
+    let recon_params = ModelParams::fault_free(n, k).expect("valid params");
+    let recon = SimBuilder::new(recon_params)
+        .seed(seed)
+        .input(zeros.clone())
+        .protocol(factory.clone())
+        .track_query_indices()
+        .build()
+        .run()
+        .expect("reconnaissance run failed");
+    let indices = recon.query_indices.as_ref().expect("tracking enabled");
+    let mut queried = vec![false; n];
+    for &j in &indices[target.index()] {
+        queried[j] = true;
+    }
+    let queries = recon.query_counts[target.index()];
+    let flipped_index = match queried.iter().position(|&q| !q) {
+        Some(i) => i,
+        None => return AttackOutcome::FullyQueried { queries },
+    };
+
+    // Attack execution E′: input differs at the unqueried bit; everyone
+    // else simulates the honest run on the fabricated input.
+    let mut attacked_input = zeros.clone();
+    attacked_input.set(flipped_index, true);
+    let attack_params = ModelParams::builder(n, k)
+        .faults(dr_core::FaultModel::Byzantine, k - 1)
+        .build()
+        .expect("valid params");
+    let mut builder = SimBuilder::new(attack_params)
+        .seed(seed)
+        .input(attacked_input.clone())
+        .protocol(factory.clone());
+    for p in 0..k {
+        if p != target.index() {
+            builder = builder.byzantine(
+                PeerId(p),
+                FakeSourceAgent::new(factory(PeerId(p)), zeros.clone()),
+            );
+        }
+    }
+    let report = match builder.build().run() {
+        Ok(r) => r,
+        Err(_) => return AttackOutcome::NoTermination { flipped_index },
+    };
+    match report.verify_downloads(&attacked_input) {
+        Err(_) => AttackOutcome::Violated {
+            flipped_index,
+            queries: report.query_counts[target.index()],
+        },
+        Ok(()) => AttackOutcome::FullyQueried {
+            queries: report.query_counts[target.index()],
+        },
+    }
+}
+
+/// Statistics of a [`randomized_attack`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedAttackStats {
+    /// The bit the adversary chose to flip (least-queried in recon runs).
+    pub flipped_index: usize,
+    /// Estimated probability that the target queries the flipped bit.
+    pub estimated_query_probability: f64,
+    /// Attack trials run.
+    pub trials: usize,
+    /// Trials where the target output a wrong bit (or failed to
+    /// terminate).
+    pub violations: usize,
+    /// Mean queries by the target across attack trials.
+    pub mean_target_queries: f64,
+}
+
+impl RandomizedAttackStats {
+    /// Empirical failure probability of the protocol under attack.
+    pub fn violation_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Runs the Theorem 3.2 construction against a *randomized* protocol.
+///
+/// The adversary cannot read the target's coins; instead it estimates the
+/// per-bit query distribution from `recon_trials` independent honest runs
+/// (it "knows the protocol and can simulate it, up to random coins"),
+/// flips the bit least likely to be queried, and measures the violation
+/// rate over `attack_trials` fresh runs in which the `k − 1` corrupted
+/// peers simulate honest behaviour on the unflipped input. If the
+/// protocol's per-peer query budget is `q < n`, some bit has query
+/// probability at most `q/n` and the attack succeeds with probability at
+/// least `1 − q/n`.
+pub fn randomized_attack<P, F>(
+    n: usize,
+    k: usize,
+    target: PeerId,
+    mut factory: F,
+    recon_trials: usize,
+    attack_trials: usize,
+    seed: u64,
+) -> RandomizedAttackStats
+where
+    P: Protocol + 'static,
+    F: FnMut(PeerId) -> P + Clone + 'static,
+{
+    let zeros = BitArray::zeros(n);
+
+    // Reconnaissance: estimate the target's query distribution.
+    let mut hits = vec![0usize; n];
+    for t in 0..recon_trials {
+        let params = ModelParams::fault_free(n, k).expect("valid params");
+        let report = SimBuilder::new(params)
+            .seed(seed.wrapping_add(1 + t as u64))
+            .input(zeros.clone())
+            .protocol(factory.clone())
+            .track_query_indices()
+            .build()
+            .run()
+            .expect("reconnaissance run failed");
+        let indices = report.query_indices.as_ref().expect("tracking enabled");
+        let mut seen = vec![false; n];
+        for &j in &indices[target.index()] {
+            if !seen[j] {
+                seen[j] = true;
+                hits[j] += 1;
+            }
+        }
+    }
+    let flipped_index = (0..n).min_by_key(|&j| hits[j]).expect("n > 0");
+    let estimated_query_probability = hits[flipped_index] as f64 / recon_trials.max(1) as f64;
+
+    // Attack trials with fresh coins.
+    let mut attacked_input = zeros.clone();
+    attacked_input.set(flipped_index, true);
+    let mut violations = 0;
+    let mut total_queries = 0u64;
+    for t in 0..attack_trials {
+        let params = ModelParams::builder(n, k)
+            .faults(dr_core::FaultModel::Byzantine, k - 1)
+            .build()
+            .expect("valid params");
+        let mut builder = SimBuilder::new(params)
+            .seed(seed.wrapping_add(0x1000 + t as u64))
+            .input(attacked_input.clone())
+            .protocol(factory.clone());
+        for p in 0..k {
+            if p != target.index() {
+                builder = builder.byzantine(
+                    PeerId(p),
+                    FakeSourceAgent::new(factory(PeerId(p)), zeros.clone()),
+                );
+            }
+        }
+        match builder.build().run() {
+            Ok(report) => {
+                total_queries += report.query_counts[target.index()];
+                if report.verify_downloads(&attacked_input).is_err() {
+                    violations += 1;
+                }
+            }
+            Err(_) => violations += 1,
+        }
+    }
+    RandomizedAttackStats {
+        flipped_index,
+        estimated_query_probability,
+        trials: attack_trials,
+        violations,
+        mean_target_queries: total_queries as f64 / attack_trials.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BalancedDownload, CommitteeDownload, NaiveDownload, TwoCycleDownload, TwoCyclePlan,
+    };
+
+    #[test]
+    fn naive_protocol_resists_the_attack() {
+        let outcome = deterministic_attack(64, 4, PeerId(0), |_| NaiveDownload::new(), 1);
+        assert_eq!(outcome, AttackOutcome::FullyQueried { queries: 64 });
+    }
+
+    #[test]
+    fn balanced_download_is_broken_by_majority_byzantine() {
+        let outcome =
+            deterministic_attack(64, 4, PeerId(0), |_| BalancedDownload::new(64, 4), 2);
+        match outcome {
+            AttackOutcome::Violated {
+                queries, ..
+            } => assert!(queries < 64),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn committee_download_is_broken_by_majority_byzantine() {
+        // The committee protocol is deterministic and sound for t < k/2;
+        // under a (k−1)-coalition the committees are Byzantine-controlled
+        // and the Theorem 3.1 attack defeats it.
+        let outcome =
+            deterministic_attack(60, 6, PeerId(1), |_| CommitteeDownload::new(60, 6, 2), 3);
+        assert!(
+            matches!(outcome, AttackOutcome::Violated { .. }),
+            "got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn randomized_sampler_fails_with_high_probability() {
+        // Force the 2-cycle sampler to run (it would choose naive under a
+        // majority): with per-peer budget ≈ n/p + O(k) ≪ n, the adversary
+        // flips a rarely-queried bit and wins most trials.
+        let (n, k) = (512, 8);
+        let plan = TwoCyclePlan::Sampled {
+            segments: 4,
+            threshold: 1,
+        };
+        let stats = randomized_attack(
+            n,
+            k,
+            PeerId(0),
+            move |_| TwoCycleDownload::with_plan(n, k, 0, plan),
+            10,
+            24,
+            7,
+        );
+        // Expected violation rate ≈ 1 − 1/p − P[fallback covers i*] ≈ 2/3;
+        // assert a conservative statistical floor.
+        assert!(
+            stats.violation_rate() > 0.4,
+            "violation rate {} too low; stats {stats:?}",
+            stats.violation_rate()
+        );
+        assert!(stats.mean_target_queries < n as f64);
+    }
+
+    #[test]
+    fn naive_randomized_attack_never_succeeds() {
+        let stats = randomized_attack(64, 4, PeerId(2), |_| NaiveDownload::new(), 3, 5, 9);
+        assert_eq!(stats.violations, 0);
+        assert_eq!(stats.estimated_query_probability, 1.0);
+    }
+}

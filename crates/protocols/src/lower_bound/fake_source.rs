@@ -1,0 +1,114 @@
+//! Byzantine simulation of an honest peer against a fabricated input.
+
+use dr_core::{BitArray, Context, PeerId, Protocol, ProtocolMessage};
+use rand::RngCore;
+
+/// Wraps an honest protocol so that all of its source queries are answered
+/// from a fabricated array instead of the real source.
+///
+/// This is the Byzantine behaviour at the heart of the §3.1 lower bounds:
+/// the corrupted peers run the protocol *faithfully* — same messages, same
+/// state machine — but "act as if the input is X". From the target's point
+/// of view their traffic is indistinguishable from an honest execution on
+/// the fabricated input.
+///
+/// The wrapped protocol's output is discarded (the peer is Byzantine).
+#[derive(Debug)]
+pub struct FakeSourceAgent<P> {
+    inner: P,
+    fake: BitArray,
+}
+
+impl<P> FakeSourceAgent<P> {
+    /// Wraps `inner`, answering its queries from `fake`.
+    pub fn new(inner: P, fake: BitArray) -> Self {
+        FakeSourceAgent { inner, fake }
+    }
+}
+
+struct FakeCtx<'a, M: ProtocolMessage> {
+    inner: &'a mut dyn Context<M>,
+    fake: &'a BitArray,
+}
+
+impl<M: ProtocolMessage> Context<M> for FakeCtx<'_, M> {
+    fn me(&self) -> PeerId {
+        self.inner.me()
+    }
+    fn num_peers(&self) -> usize {
+        self.inner.num_peers()
+    }
+    fn input_len(&self) -> usize {
+        self.inner.input_len()
+    }
+    fn send(&mut self, to: PeerId, msg: M) {
+        self.inner.send(to, msg);
+    }
+    fn query(&mut self, index: usize) -> bool {
+        // The fabricated world: never touches the real source (and is
+        // therefore also free for the Byzantine peer).
+        self.fake.get(index)
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.inner.rng()
+    }
+}
+
+impl<P: Protocol> Protocol for FakeSourceAgent<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<P::Msg>) {
+        let mut fake_ctx = FakeCtx {
+            inner: ctx,
+            fake: &self.fake,
+        };
+        self.inner.on_start(&mut fake_ctx);
+    }
+
+    fn on_message(&mut self, from: PeerId, msg: P::Msg, ctx: &mut dyn Context<P::Msg>) {
+        let mut fake_ctx = FakeCtx {
+            inner: ctx,
+            fake: &self.fake,
+        };
+        self.inner.on_message(from, msg, &mut fake_ctx);
+    }
+
+    /// Byzantine peers never "terminate" for the Download specification.
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveDownload;
+
+    #[test]
+    fn wrapped_protocol_sees_fake_bits() {
+        use dr_core::ModelParams;
+        use dr_sim::SimBuilder;
+
+        // Real input: derived from seed. Fake input: all ones.
+        let n = 32;
+        let fake = BitArray::from_fn(n, |_| true);
+        let params = ModelParams::builder(n, 2)
+            .faults(dr_core::FaultModel::Byzantine, 1)
+            .build()
+            .unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(1)
+            .protocol(|_| NaiveDownload::new())
+            .byzantine(
+                PeerId(1),
+                FakeSourceAgent::new(NaiveDownload::new(), fake),
+            )
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        // The honest peer still downloads the real input.
+        report.verify_downloads(&input).unwrap();
+        // The Byzantine wrapper made no real queries at all.
+        assert_eq!(report.query_counts[1], 0);
+    }
+}

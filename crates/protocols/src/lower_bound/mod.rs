@@ -1,0 +1,31 @@
+//! Executable lower-bound constructions for Byzantine-majority Download
+//! (§3.1, Theorems 3.1 and 3.2).
+//!
+//! Theorem 3.1: for `β ≥ 1/2`, every *deterministic* asynchronous Download
+//! protocol must query all `n` bits. Theorem 3.2 extends this (with a
+//! slightly weaker constant) to randomized protocols. Both proofs build a
+//! pair of indistinguishable executions: a Byzantine coalition *simulates*
+//! an honest execution on a fabricated input `X` while the real input `X′`
+//! differs in one bit `i*` the target peer never queries; honest peers who
+//! could reveal the difference are delayed past the target's termination.
+//!
+//! This module makes the construction executable:
+//!
+//! * [`FakeSourceAgent`] wraps any honest protocol so that its *queries*
+//!   are answered from a fabricated array instead of the real source —
+//!   exactly the "corrupted peers act as if the input is X" step.
+//! * [`deterministic_attack`] runs the two-execution construction against
+//!   a deterministic protocol and reports whether the target peer output
+//!   a wrong bit.
+//! * [`randomized_attack`] runs the Theorem 3.2 version against randomized
+//!   protocols: reconnaissance runs estimate the target's per-bit query
+//!   distribution, the adversary flips a rarely-queried bit, and fresh
+//!   attack runs measure the failure probability.
+
+mod attack;
+mod fake_source;
+
+pub use attack::{
+    deterministic_attack, randomized_attack, AttackOutcome, RandomizedAttackStats,
+};
+pub use fake_source::FakeSourceAgent;

@@ -1,0 +1,109 @@
+//! The naive Download protocol: query everything.
+//!
+//! Every peer queries all `n` bits directly and terminates without any
+//! communication. This is the trivial upper bound (`Q = n`) that works for
+//! any number of faults of any kind — and, by Theorem 3.1, the *only*
+//! deterministic option once `β ≥ 1/2` under Byzantine faults.
+
+use dr_core::{BitArray, Context, PeerId, Protocol, ProtocolMessage};
+
+/// A message type for protocols that never communicate.
+#[derive(Debug, Clone)]
+pub enum NoMessage {}
+
+impl ProtocolMessage for NoMessage {
+    fn bit_len(&self) -> usize {
+        match *self {}
+    }
+}
+
+/// The naive protocol: query all `n` bits on start, terminate immediately.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::ModelParams;
+/// use dr_protocols::NaiveDownload;
+/// use dr_sim::SimBuilder;
+///
+/// let params = ModelParams::fault_free(128, 4)?;
+/// let sim = SimBuilder::new(params)
+///     .protocol(|_| NaiveDownload::new())
+///     .build();
+/// let input = sim.input().clone();
+/// let report = sim.run().unwrap();
+/// report.verify_downloads(&input).unwrap();
+/// assert_eq!(report.max_nonfaulty_queries, 128);
+/// # Ok::<(), dr_core::InvalidParamsError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct NaiveDownload {
+    out: Option<BitArray>,
+}
+
+impl NaiveDownload {
+    /// Creates a naive downloader.
+    pub fn new() -> Self {
+        NaiveDownload { out: None }
+    }
+}
+
+impl Protocol for NaiveDownload {
+    type Msg = NoMessage;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<NoMessage>) {
+        let n = ctx.input_len();
+        self.out = Some(ctx.query_range(0..n));
+    }
+
+    fn on_message(&mut self, _from: PeerId, msg: NoMessage, _ctx: &mut dyn Context<NoMessage>) {
+        match msg {}
+    }
+
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_core::ModelParams;
+    use dr_sim::SimBuilder;
+
+    #[test]
+    fn naive_downloads_everything() {
+        let params = ModelParams::fault_free(200, 5).unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(1)
+            .protocol(|_| NaiveDownload::new())
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        assert_eq!(report.max_nonfaulty_queries, 200);
+        assert_eq!(report.messages_sent, 0);
+    }
+
+    #[test]
+    fn naive_survives_max_crashes() {
+        use dr_core::{FaultModel, PeerId};
+        use dr_sim::{CrashPlan, StandardAdversary, UniformDelay};
+        let params = ModelParams::builder(64, 4)
+            .faults(FaultModel::Crash, 3)
+            .build()
+            .unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(2)
+            .protocol(|_| NaiveDownload::new())
+            .adversary(StandardAdversary::new(
+                UniformDelay::new(),
+                CrashPlan::before_event([PeerId(0), PeerId(1), PeerId(2)], 0),
+            ))
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        assert_eq!(report.nonfaulty.len(), 1);
+    }
+}

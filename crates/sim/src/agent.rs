@@ -1,0 +1,111 @@
+//! Object-safe wrapper over [`dr_core::Protocol`].
+//!
+//! The simulator stores a heterogeneous collection of peers — honest
+//! protocol instances and Byzantine behaviours — all exchanging the same
+//! message type. [`Agent`] is the object-safe form of `Protocol` with the
+//! message type lifted to a trait parameter; every `Protocol` implements it
+//! via the blanket impl, so protocols, Byzantine strategies, and test stubs
+//! are all just `Box<dyn Agent<M>>` to the simulator.
+
+use dr_core::{BitArray, Context, PeerId, Protocol, ProtocolMessage};
+
+/// One peer as seen by the simulator: an event-driven state machine over
+/// message type `M`.
+pub trait Agent<M: ProtocolMessage>: Send {
+    /// Called once when the peer starts executing.
+    fn on_start(&mut self, ctx: &mut dyn Context<M>);
+
+    /// Called on every delivered message.
+    fn on_message(&mut self, from: PeerId, msg: M, ctx: &mut dyn Context<M>);
+
+    /// The peer's Download output once terminated.
+    fn output(&self) -> Option<&BitArray>;
+
+    /// Whether the peer has terminated (halted with an output).
+    fn is_terminated(&self) -> bool {
+        self.output().is_some()
+    }
+}
+
+impl<M: ProtocolMessage, P: Protocol<Msg = M>> Agent<M> for P {
+    fn on_start(&mut self, ctx: &mut dyn Context<M>) {
+        Protocol::on_start(self, ctx);
+    }
+
+    fn on_message(&mut self, from: PeerId, msg: M, ctx: &mut dyn Context<M>) {
+        Protocol::on_message(self, from, msg, ctx);
+    }
+
+    fn output(&self) -> Option<&BitArray> {
+        Protocol::output(self)
+    }
+}
+
+impl<M: ProtocolMessage> Agent<M> for Box<dyn Agent<M>> {
+    fn on_start(&mut self, ctx: &mut dyn Context<M>) {
+        (**self).on_start(ctx);
+    }
+    fn on_message(&mut self, from: PeerId, msg: M, ctx: &mut dyn Context<M>) {
+        (**self).on_message(from, msg, ctx);
+    }
+    fn output(&self) -> Option<&BitArray> {
+        (**self).output()
+    }
+}
+
+/// An agent that does nothing and never terminates. Used to model peers
+/// that are silent from the first step (e.g. a Byzantine peer playing
+/// dead, or a placeholder for a peer crashed before starting).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentAgent;
+
+impl SilentAgent {
+    /// Creates a silent agent.
+    pub fn new() -> Self {
+        SilentAgent
+    }
+}
+
+impl<M: ProtocolMessage> Agent<M> for SilentAgent {
+    fn on_start(&mut self, _ctx: &mut dyn Context<M>) {}
+    fn on_message(&mut self, _from: PeerId, _msg: M, _ctx: &mut dyn Context<M>) {}
+    fn output(&self) -> Option<&BitArray> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl ProtocolMessage for Unit {
+        fn bit_len(&self) -> usize {
+            0
+        }
+    }
+
+    struct Immediate(BitArray);
+    impl Protocol for Immediate {
+        type Msg = Unit;
+        fn on_start(&mut self, _ctx: &mut dyn Context<Unit>) {}
+        fn on_message(&mut self, _from: PeerId, _msg: Unit, _ctx: &mut dyn Context<Unit>) {}
+        fn output(&self) -> Option<&BitArray> {
+            Some(&self.0)
+        }
+    }
+
+    #[test]
+    fn blanket_impl_forwards_output() {
+        let agent: Box<dyn Agent<Unit>> = Box::new(Immediate(BitArray::zeros(3)));
+        assert!(agent.is_terminated());
+        assert_eq!(agent.output().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn silent_agent_never_terminates() {
+        let agent: Box<dyn Agent<Unit>> = Box::new(SilentAgent::new());
+        assert!(!agent.is_terminated());
+    }
+}

@@ -1,0 +1,480 @@
+//! The discrete-event simulator for asynchronous faulty executions.
+//!
+//! [`Simulation`] drives a set of [`Agent`]s (honest protocol instances and
+//! Byzantine behaviours) under an [`Adversary`] that controls start times,
+//! message latencies, holds, and crashes, while metering queries, messages,
+//! and virtual time. The semantics follow §1.2 of the paper:
+//!
+//! * every event-handler invocation is one atomic local step; the peer may
+//!   query the source synchronously and emit messages;
+//! * the adversary fixes each message's (finite) latency when it is sent,
+//!   or holds it; held messages must be released at quiescence (§3.1);
+//! * crashes happen only between steps — either immediately before an
+//!   event is processed or mid-way through the outgoing batch of a step
+//!   ("the peer has sent some, but perhaps not all, of its messages");
+//! * a message longer than the model's `a` bits is charged as
+//!   `⌈len/a⌉` packets and its delivery takes proportionally longer.
+
+use crate::adversary::{Adversary, Delivery, HeldInfo};
+use crate::agent::Agent;
+use crate::report::{RunError, RunReport};
+use crate::time::{Ticks, TICKS_PER_UNIT};
+use crate::trace::TraceEntry;
+use crate::view::{PeerRole, PeerStatus, View};
+use dr_core::{BitArray, Context, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource, SourceHandle};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+enum EventKind<M> {
+    Start(PeerId),
+    Deliver { from: PeerId, to: PeerId, msg: M },
+}
+
+struct QueuedEvent<M> {
+    at: Ticks,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    // Reversed so that BinaryHeap pops the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct HeldMessage<M> {
+    from: PeerId,
+    to: PeerId,
+    msg: M,
+    sent_at: Ticks,
+    packets: u64,
+}
+
+struct SimCtx<'a, M> {
+    me: PeerId,
+    num_peers: usize,
+    input_len: usize,
+    handle: &'a SourceHandle,
+    rng: &'a mut StdRng,
+    outbox: &'a mut Vec<(PeerId, M)>,
+}
+
+impl<M: ProtocolMessage> Context<M> for SimCtx<'_, M> {
+    fn me(&self) -> PeerId {
+        self.me
+    }
+    fn num_peers(&self) -> usize {
+        self.num_peers
+    }
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+    fn send(&mut self, to: PeerId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+    fn query(&mut self, index: usize) -> bool {
+        self.handle.query(index)
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+///
+/// Construct through [`SimBuilder`](crate::SimBuilder).
+pub struct Simulation<M: ProtocolMessage> {
+    pub(crate) params: ModelParams,
+    pub(crate) input: BitArray,
+    pub(crate) source: SharedSource,
+    pub(crate) agents: Vec<Box<dyn Agent<M>>>,
+    pub(crate) status: Vec<PeerStatus>,
+    pub(crate) adversary: Box<dyn Adversary<M>>,
+    pub(crate) rngs: Vec<StdRng>,
+    pub(crate) adv_rng: StdRng,
+    pub(crate) max_events: u64,
+    handles: Vec<SourceHandle>,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    held: Vec<HeldMessage<M>>,
+    seq: u64,
+    now: Ticks,
+    crash_budget: usize,
+    messages_sent: u64,
+    message_bits: u64,
+    events: u64,
+    quiescence_releases: u64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl<M: ProtocolMessage> Simulation<M> {
+    pub(crate) fn from_parts(
+        params: ModelParams,
+        input: BitArray,
+        source: SharedSource,
+        agents: Vec<Box<dyn Agent<M>>>,
+        roles: Vec<PeerRole>,
+        adversary: Box<dyn Adversary<M>>,
+        seed: u64,
+        max_events: u64,
+    ) -> Self {
+        let k = params.k();
+        let handles = (0..k).map(|p| source.handle(PeerId(p))).collect();
+        let rngs = (0..k)
+            .map(|p| StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(p as u64)))
+            .collect();
+        let byz = roles.iter().filter(|r| **r == PeerRole::Byzantine).count();
+        assert!(
+            byz <= params.b(),
+            "{byz} Byzantine peers exceed fault budget b={}",
+            params.b()
+        );
+        Simulation {
+            params,
+            input,
+            source,
+            agents,
+            status: roles.into_iter().map(PeerStatus::new).collect(),
+            adversary,
+            rngs,
+            adv_rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
+            max_events,
+            handles,
+            queue: BinaryHeap::new(),
+            held: Vec::new(),
+            seq: 0,
+            now: 0,
+            crash_budget: params.b() - byz,
+            messages_sent: 0,
+            message_bits: 0,
+            events: 0,
+            quiescence_releases: 0,
+            trace: None,
+        }
+    }
+
+    pub(crate) fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(entry);
+        }
+    }
+
+    /// The input array this run downloads (for verification).
+    pub fn input(&self) -> &BitArray {
+        &self.input
+    }
+
+    /// Model parameters of this run.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn push_event(&mut self, at: Ticks, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { at, seq, kind });
+    }
+
+    fn crash(&mut self, peer: PeerId) {
+        assert!(
+            self.status[peer.index()].role == PeerRole::Honest,
+            "adversary tried to crash Byzantine peer {peer}"
+        );
+        assert!(
+            self.crash_budget > 0,
+            "adversary exceeded crash budget trying to crash {peer}"
+        );
+        self.crash_budget -= 1;
+        self.status[peer.index()].crashed = true;
+        let now = self.now;
+        self.record(TraceEntry::Crash { at: now, peer });
+    }
+
+    fn all_nonfaulty_terminated(&self) -> bool {
+        self.status
+            .iter()
+            .all(|s| !s.is_nonfaulty() || s.terminated)
+    }
+
+    /// Charges and schedules the outgoing batch of one step, applying the
+    /// adversary's mid-send crash cut if any.
+    fn dispatch_outbox(&mut self, peer: PeerId, mut outbox: Vec<(PeerId, M)>) {
+        if !self.status[peer.index()].crashed {
+            let cut = {
+                let view = View {
+                    now: self.now,
+                    peers: &self.status,
+                };
+                self.adversary.crash_during_send(&view, peer, outbox.len())
+            };
+            if let Some(keep) = cut {
+                outbox.truncate(keep);
+                self.crash(peer);
+            }
+        }
+        let sender_nonfaulty_now = self.status[peer.index()].role == PeerRole::Honest;
+        for (to, msg) in outbox {
+            let bits = msg.bit_len() as u64;
+            let packets = (bits.div_ceil(self.params.msg_bits() as u64)).max(1);
+            if sender_nonfaulty_now {
+                self.messages_sent += packets;
+                self.message_bits += bits;
+            }
+            let decision = {
+                let view = View {
+                    now: self.now,
+                    peers: &self.status,
+                };
+                self.adversary
+                    .on_send(&view, peer, to, &msg, &mut self.adv_rng)
+            };
+            match decision {
+                Delivery::After(latency) => {
+                    let latency = latency.clamp(1, TICKS_PER_UNIT);
+                    let transmission = (packets - 1) * TICKS_PER_UNIT;
+                    let at = self.now + latency + transmission;
+                    self.push_event(at, EventKind::Deliver { from: peer, to, msg });
+                }
+                Delivery::Hold => {
+                    let now = self.now;
+                    self.record(TraceEntry::Hold { at: now, from: peer, to });
+                    self.held.push(HeldMessage {
+                        from: peer,
+                        to,
+                        msg,
+                        sent_at: self.now,
+                        packets,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Delivers one event to a peer, running its handler. Returns the
+    /// produced outbox, or `None` if the event was dropped (peer crashed,
+    /// terminated, or crashed by the adversary just now).
+    fn process_event(&mut self, kind: EventKind<M>) -> Option<(PeerId, Vec<(PeerId, M)>)> {
+        let to = match &kind {
+            EventKind::Start(p) => *p,
+            EventKind::Deliver { to, .. } => *to,
+        };
+        let st = &self.status[to.index()];
+        if st.crashed || st.terminated {
+            if let EventKind::Deliver { from, to, .. } = &kind {
+                let (at, from, to) = (self.now, *from, *to);
+                self.record(TraceEntry::Drop { at, from, to });
+            }
+            return None;
+        }
+        // Crash faults fire only between steps: the adversary may fell the
+        // peer immediately before it processes this event.
+        if st.role == PeerRole::Honest && self.crash_budget > 0 {
+            let crash_now = {
+                let view = View {
+                    now: self.now,
+                    peers: &self.status,
+                };
+                self.adversary.crash_before_event(&view, to)
+            };
+            if crash_now {
+                self.crash(to);
+                return None;
+            }
+        }
+        self.status[to.index()].events_processed += 1;
+        self.events += 1;
+        match &kind {
+            EventKind::Start(peer) => {
+                let (at, peer) = (self.now, *peer);
+                self.record(TraceEntry::Start { at, peer });
+            }
+            EventKind::Deliver { from, msg, .. } => {
+                let (at, from, bits) = (self.now, *from, msg.bit_len());
+                self.record(TraceEntry::Deliver { at, from, to, bits });
+            }
+        }
+        let mut outbox = Vec::new();
+        {
+            let agent = &mut self.agents[to.index()];
+            let mut ctx = SimCtx {
+                me: to,
+                num_peers: self.params.k(),
+                input_len: self.params.n(),
+                handle: &self.handles[to.index()],
+                rng: &mut self.rngs[to.index()],
+                outbox: &mut outbox,
+            };
+            match kind {
+                EventKind::Start(_) => {
+                    self.status[to.index()].started = true;
+                    agent.on_start(&mut ctx);
+                }
+                EventKind::Deliver { from, msg, .. } => {
+                    agent.on_message(from, msg, &mut ctx);
+                }
+            }
+        }
+        let was_terminated = self.status[to.index()].terminated;
+        self.status[to.index()].terminated = self.agents[to.index()].is_terminated();
+        if !was_terminated && self.status[to.index()].terminated {
+            let now = self.now;
+            self.record(TraceEntry::Terminate { at: now, peer: to });
+        }
+        Some((to, outbox))
+    }
+
+    /// Runs the execution to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] if every queue drains while a
+    /// nonfaulty peer is still waiting (the protocols in the paper are
+    /// proven never to reach this state), or
+    /// [`RunError::EventLimitExceeded`] if the livelock guard trips.
+    pub fn run(mut self) -> Result<RunReport, RunError> {
+        // The adversary decides when every peer starts (no simultaneous
+        // start assumption).
+        for p in 0..self.params.k() {
+            // The adversary decides when each peer starts (any finite
+            // offset; there is no simultaneous-start assumption).
+            let offset = self.adversary.start_offset(PeerId(p), &mut self.adv_rng);
+            self.push_event(offset, EventKind::Start(PeerId(p)));
+        }
+        loop {
+            if self.all_nonfaulty_terminated() {
+                break;
+            }
+            if self.events >= self.max_events {
+                return Err(RunError::EventLimitExceeded {
+                    limit: self.max_events,
+                });
+            }
+            match self.queue.pop() {
+                Some(ev) => {
+                    self.now = self.now.max(ev.at);
+                    if let Some((peer, outbox)) = self.process_event(ev.kind) {
+                        self.dispatch_outbox(peer, outbox);
+                    }
+                }
+                None => {
+                    if self.held.is_empty() {
+                        let stuck: Vec<PeerId> = self
+                            .status
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_nonfaulty() && !s.terminated)
+                            .map(|(i, _)| PeerId(i))
+                            .collect();
+                        return Err(RunError::Deadlock { stuck });
+                    }
+                    // Quiescence: the adversary is compelled to release held
+                    // messages so the system can make progress.
+                    self.release_held();
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn release_held(&mut self) {
+        self.quiescence_releases += 1;
+        let infos: Vec<HeldInfo> = self
+            .held
+            .iter()
+            .map(|h| HeldInfo {
+                from: h.from,
+                to: h.to,
+                sent_at: h.sent_at,
+            })
+            .collect();
+        let mut chosen = {
+            let view = View {
+                now: self.now,
+                peers: &self.status,
+            };
+            self.adversary.on_quiescence(&view, &infos)
+        };
+        if chosen.is_empty() {
+            chosen = (0..self.held.len()).collect();
+        }
+        chosen.sort_unstable();
+        chosen.dedup();
+        let now = self.now;
+        let released = chosen.len();
+        self.record(TraceEntry::QuiescenceRelease { at: now, released });
+        // Remove in reverse so indices stay valid.
+        for &i in chosen.iter().rev() {
+            if i >= self.held.len() {
+                continue;
+            }
+            let h = self.held.swap_remove(i);
+            let at = self.now + 1 + (h.packets - 1) * TICKS_PER_UNIT;
+            self.push_event(
+                at,
+                EventKind::Deliver {
+                    from: h.from,
+                    to: h.to,
+                    msg: h.msg,
+                },
+            );
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        let k = self.params.k();
+        let mut nonfaulty = PeerSet::new(k);
+        let mut crashed = PeerSet::new(k);
+        let mut byzantine = PeerSet::new(k);
+        for (i, s) in self.status.iter().enumerate() {
+            if s.is_nonfaulty() {
+                nonfaulty.insert(PeerId(i));
+            }
+            if s.crashed {
+                crashed.insert(PeerId(i));
+            }
+            if s.role == PeerRole::Byzantine {
+                byzantine.insert(PeerId(i));
+            }
+        }
+        let query_counts = self.source.meter().counts();
+        let query_indices = self.source.meter().indices(PeerId(0)).map(|_| {
+            (0..k)
+                .map(|p| self.source.meter().indices(PeerId(p)).expect("tracking enabled"))
+                .collect()
+        });
+        let max_nonfaulty_queries = self.source.meter().max_over(nonfaulty.iter());
+        RunReport {
+            outputs: self.agents.iter().map(|a| a.output().cloned()).collect(),
+            nonfaulty,
+            crashed,
+            byzantine,
+            query_counts,
+            query_indices,
+            max_nonfaulty_queries,
+            messages_sent: self.messages_sent,
+            message_bits: self.message_bits,
+            virtual_time_units: RunReport::time_units_of(self.now),
+            virtual_time_ticks: self.now,
+            events: self.events,
+            quiescence_releases: self.quiescence_releases,
+            trace: self.trace,
+        }
+    }
+}

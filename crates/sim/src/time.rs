@@ -1,0 +1,32 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The asynchronous model has no global clock; for *time complexity*
+//! accounting the paper normalizes the maximum message latency in an
+//! execution to one time unit. The simulator uses integer ticks with
+//! [`TICKS_PER_UNIT`] ticks per normalized unit; adversary delay strategies
+//! produce latencies in `1..=TICKS_PER_UNIT`, so the reported virtual time
+//! (in units) is directly comparable to the paper's `T` bounds.
+
+/// Number of simulator ticks per normalized time unit (the maximum
+/// adversarial latency of a single message).
+pub const TICKS_PER_UNIT: u64 = 1024;
+
+/// A point in virtual time, in ticks.
+pub type Ticks = u64;
+
+/// Converts ticks to normalized time units.
+pub fn ticks_to_units(ticks: Ticks) -> f64 {
+    ticks as f64 / TICKS_PER_UNIT as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_is_linear() {
+        assert_eq!(ticks_to_units(0), 0.0);
+        assert_eq!(ticks_to_units(TICKS_PER_UNIT), 1.0);
+        assert_eq!(ticks_to_units(3 * TICKS_PER_UNIT / 2), 1.5);
+    }
+}

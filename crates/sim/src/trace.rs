@@ -1,0 +1,160 @@
+//! Structured execution traces.
+//!
+//! When enabled on the builder, the simulator records one [`TraceEntry`]
+//! per scheduler action — starts, deliveries, drops, crashes, holds, and
+//! quiescence releases — with virtual timestamps. Traces make adversarial
+//! executions auditable: tests assert on them, and
+//! [`render_trace`] pretty-prints them for debugging.
+
+use crate::time::{ticks_to_units, Ticks};
+use dr_core::PeerId;
+
+/// One scheduler action in an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEntry {
+    /// A peer processed its start event.
+    Start {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// The starting peer.
+        peer: PeerId,
+    },
+    /// A message was delivered and processed.
+    Deliver {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Receiver.
+        to: PeerId,
+        /// Payload size in bits.
+        bits: usize,
+    },
+    /// A message arrived at a crashed or terminated peer and was dropped.
+    Drop {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+    },
+    /// The adversary crashed a peer.
+    Crash {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// The crashed peer.
+        peer: PeerId,
+    },
+    /// The adversary decided to hold a message indefinitely.
+    Hold {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+    },
+    /// Quiescence forced held messages out.
+    QuiescenceRelease {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Number of messages released.
+        released: usize,
+    },
+    /// A peer terminated with an output.
+    Terminate {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// The terminating peer.
+        peer: PeerId,
+    },
+}
+
+impl TraceEntry {
+    /// The entry's virtual timestamp in ticks.
+    pub fn at(&self) -> Ticks {
+        match self {
+            TraceEntry::Start { at, .. }
+            | TraceEntry::Deliver { at, .. }
+            | TraceEntry::Drop { at, .. }
+            | TraceEntry::Crash { at, .. }
+            | TraceEntry::Hold { at, .. }
+            | TraceEntry::QuiescenceRelease { at, .. }
+            | TraceEntry::Terminate { at, .. } => *at,
+        }
+    }
+}
+
+/// Renders a trace as human-readable lines (one per entry, timestamps in
+/// normalized units).
+pub fn render_trace(trace: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for e in trace {
+        let t = ticks_to_units(e.at());
+        let line = match e {
+            TraceEntry::Start { peer, .. } => format!("{t:8.3}  START    {peer}"),
+            TraceEntry::Deliver { from, to, bits, .. } => {
+                format!("{t:8.3}  DELIVER  {from} -> {to} ({bits} bits)")
+            }
+            TraceEntry::Drop { from, to, .. } => format!("{t:8.3}  DROP     {from} -> {to}"),
+            TraceEntry::Crash { peer, .. } => format!("{t:8.3}  CRASH    {peer}"),
+            TraceEntry::Hold { from, to, .. } => format!("{t:8.3}  HOLD     {from} -> {to}"),
+            TraceEntry::QuiescenceRelease { released, .. } => {
+                format!("{t:8.3}  RELEASE  {released} held message(s)")
+            }
+            TraceEntry::Terminate { peer, .. } => format!("{t:8.3}  DONE     {peer}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_every_variant() {
+        let trace = vec![
+            TraceEntry::Start {
+                at: 0,
+                peer: PeerId(0),
+            },
+            TraceEntry::Deliver {
+                at: 1024,
+                from: PeerId(0),
+                to: PeerId(1),
+                bits: 64,
+            },
+            TraceEntry::Drop {
+                at: 1025,
+                from: PeerId(1),
+                to: PeerId(2),
+            },
+            TraceEntry::Crash {
+                at: 1026,
+                peer: PeerId(2),
+            },
+            TraceEntry::Hold {
+                at: 1027,
+                from: PeerId(0),
+                to: PeerId(1),
+            },
+            TraceEntry::QuiescenceRelease {
+                at: 1028,
+                released: 3,
+            },
+            TraceEntry::Terminate {
+                at: 2048,
+                peer: PeerId(0),
+            },
+        ];
+        let text = render_trace(&trace);
+        for needle in ["START", "DELIVER", "DROP", "CRASH", "HOLD", "RELEASE", "DONE"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        assert_eq!(trace[6].at(), 2048);
+    }
+}

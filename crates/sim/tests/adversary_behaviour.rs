@@ -1,0 +1,224 @@
+//! Integration tests of the adversary interface: selective quiescence
+//! release, start scheduling, and fault accounting.
+
+use dr_core::{BitArray, Context, FaultModel, ModelParams, PartialArray, PeerId, Protocol, ProtocolMessage};
+use dr_sim::{Adversary, Delivery, HeldInfo, SilentAgent, SimBuilder, View, TICKS_PER_UNIT};
+use rand::rngs::StdRng;
+
+#[derive(Debug, Clone)]
+struct Chunk {
+    offset: usize,
+    bits: BitArray,
+}
+
+impl ProtocolMessage for Chunk {
+    fn bit_len(&self) -> usize {
+        64 + self.bits.len()
+    }
+}
+
+/// Minimal fault-free balanced download used as the workload.
+struct Balanced {
+    acc: PartialArray,
+    out: Option<BitArray>,
+}
+
+impl Balanced {
+    fn new(n: usize) -> Self {
+        Balanced {
+            acc: PartialArray::new(n),
+            out: None,
+        }
+    }
+    fn check(&mut self) {
+        if self.out.is_none() && self.acc.is_complete() {
+            self.out = Some(self.acc.clone().into_complete());
+        }
+    }
+}
+
+impl Protocol for Balanced {
+    type Msg = Chunk;
+    fn on_start(&mut self, ctx: &mut dyn Context<Chunk>) {
+        let n = ctx.input_len();
+        let k = ctx.num_peers();
+        let per = n.div_ceil(k);
+        let me = ctx.me().index();
+        let range = (me * per).min(n)..((me + 1) * per).min(n);
+        let bits = ctx.query_range(range.clone());
+        self.acc.learn_slice(range.start, &bits);
+        ctx.broadcast(Chunk {
+            offset: range.start,
+            bits,
+        });
+        self.check();
+    }
+    fn on_message(&mut self, _f: PeerId, m: Chunk, _c: &mut dyn Context<Chunk>) {
+        self.acc.learn_slice(m.offset, &m.bits);
+        self.check();
+    }
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+/// Holds everything and, at quiescence, releases exactly one message —
+/// the stingiest legal adversary.
+struct DripFeed;
+
+impl Adversary<Chunk> for DripFeed {
+    fn on_send(
+        &mut self,
+        _v: &View<'_>,
+        _f: PeerId,
+        _t: PeerId,
+        _m: &Chunk,
+        _r: &mut StdRng,
+    ) -> Delivery {
+        Delivery::Hold
+    }
+    fn on_quiescence(&mut self, _v: &View<'_>, held: &[HeldInfo]) -> Vec<usize> {
+        // Release only the oldest held message.
+        let oldest = held
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, h)| h.sent_at)
+            .map(|(i, _)| i);
+        oldest.into_iter().collect()
+    }
+}
+
+#[test]
+fn drip_feed_release_still_completes() {
+    let n = 64;
+    let k = 4;
+    let params = ModelParams::fault_free(n, k).unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(1)
+        .protocol(move |_| Balanced::new(n))
+        .adversary(DripFeed)
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    // k(k−1) = 12 messages, all held: one forced release each.
+    assert_eq!(report.quiescence_releases, 12);
+}
+
+/// Starts one peer a full unit after everyone else.
+struct LateStarter;
+
+impl Adversary<Chunk> for LateStarter {
+    fn start_offset(&mut self, peer: PeerId, _rng: &mut StdRng) -> u64 {
+        if peer == PeerId(0) {
+            10 * TICKS_PER_UNIT
+        } else {
+            0
+        }
+    }
+    fn on_send(
+        &mut self,
+        _v: &View<'_>,
+        _f: PeerId,
+        _t: PeerId,
+        _m: &Chunk,
+        _r: &mut StdRng,
+    ) -> Delivery {
+        Delivery::After(1)
+    }
+}
+
+#[test]
+fn staggered_starts_delay_completion() {
+    let n = 64;
+    let k = 4;
+    let params = ModelParams::fault_free(n, k).unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(2)
+        .protocol(move |_| Balanced::new(n))
+        .adversary(LateStarter)
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    // Nothing finishes before the late starter's chunk exists.
+    assert!(report.virtual_time_ticks >= 10 * TICKS_PER_UNIT);
+}
+
+#[test]
+fn byzantine_queries_do_not_count_toward_q() {
+    // A Byzantine peer that queries everything must not inflate the
+    // honest Q metric.
+    struct GreedyByz;
+    impl Protocol for GreedyByz {
+        type Msg = Chunk;
+        fn on_start(&mut self, ctx: &mut dyn Context<Chunk>) {
+            let n = ctx.input_len();
+            let _ = ctx.query_range(0..n);
+        }
+        fn on_message(&mut self, _f: PeerId, _m: Chunk, _c: &mut dyn Context<Chunk>) {}
+        fn output(&self) -> Option<&BitArray> {
+            None
+        }
+    }
+    let n = 40;
+    let k = 4;
+    let params = ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, 1)
+        .build()
+        .unwrap();
+    // Honest peers use the naive-per-slice trick plus tolerate the silent
+    // byzantine: use a protocol that doesn't need the byz peer — each
+    // honest peer queries everything itself.
+    struct SelfSufficient(Option<BitArray>);
+    impl Protocol for SelfSufficient {
+        type Msg = Chunk;
+        fn on_start(&mut self, ctx: &mut dyn Context<Chunk>) {
+            let n = ctx.input_len();
+            self.0 = Some(ctx.query_range(0..n));
+        }
+        fn on_message(&mut self, _f: PeerId, _m: Chunk, _c: &mut dyn Context<Chunk>) {}
+        fn output(&self) -> Option<&BitArray> {
+            self.0.as_ref()
+        }
+    }
+    let sim = SimBuilder::new(params)
+        .seed(3)
+        .protocol(|_| SelfSufficient(None))
+        .byzantine(PeerId(2), GreedyByz)
+        .build();
+    let report = sim.run().unwrap();
+    assert_eq!(report.max_nonfaulty_queries, n as u64);
+    assert_eq!(report.query_counts[2], n as u64);
+    assert!(!report.nonfaulty.contains(PeerId(2)));
+}
+
+#[test]
+fn silent_byzantine_is_recorded_in_report() {
+    let n = 16;
+    let params = ModelParams::builder(n, 3)
+        .faults(FaultModel::Byzantine, 1)
+        .build()
+        .unwrap();
+    struct Solo(Option<BitArray>);
+    impl Protocol for Solo {
+        type Msg = Chunk;
+        fn on_start(&mut self, ctx: &mut dyn Context<Chunk>) {
+            let n = ctx.input_len();
+            self.0 = Some(ctx.query_range(0..n));
+        }
+        fn on_message(&mut self, _f: PeerId, _m: Chunk, _c: &mut dyn Context<Chunk>) {}
+        fn output(&self) -> Option<&BitArray> {
+            self.0.as_ref()
+        }
+    }
+    let sim = SimBuilder::new(params)
+        .seed(4)
+        .protocol(|_| Solo(None))
+        .byzantine(PeerId(1), SilentAgent::new())
+        .build();
+    let report = sim.run().unwrap();
+    assert!(report.byzantine.contains(PeerId(1)));
+    assert_eq!(report.byzantine.len(), 1);
+    assert_eq!(report.nonfaulty.len(), 2);
+}

@@ -1,0 +1,108 @@
+//! Tests of the structured execution-trace facility.
+
+use dr_core::{BitArray, Context, FaultModel, ModelParams, PeerId, Protocol, ProtocolMessage};
+use dr_sim::{render_trace, CrashPlan, FixedDelay, SimBuilder, StandardAdversary, TraceEntry};
+
+#[derive(Debug, Clone)]
+struct Ping;
+impl ProtocolMessage for Ping {
+    fn bit_len(&self) -> usize {
+        8
+    }
+}
+
+/// Queries everything, pings everyone once, terminates on first ping.
+struct PingOnce {
+    out: Option<BitArray>,
+    acc: Option<BitArray>,
+}
+impl Protocol for PingOnce {
+    type Msg = Ping;
+    fn on_start(&mut self, ctx: &mut dyn Context<Ping>) {
+        let n = ctx.input_len();
+        self.acc = Some(ctx.query_range(0..n));
+        ctx.broadcast(Ping);
+        if ctx.num_peers() == 1 {
+            self.out = self.acc.clone();
+        }
+    }
+    fn on_message(&mut self, _f: PeerId, _m: Ping, _c: &mut dyn Context<Ping>) {
+        self.out = self.acc.clone();
+    }
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+#[test]
+fn trace_records_starts_deliveries_and_terminations() {
+    let params = ModelParams::fault_free(8, 3).unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(1)
+        .protocol(|_| PingOnce { out: None, acc: None })
+        .trace()
+        .build();
+    let report = sim.run().unwrap();
+    let trace = report.trace.as_ref().expect("trace enabled");
+    let starts = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEntry::Start { .. }))
+        .count();
+    let terms = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEntry::Terminate { .. }))
+        .count();
+    let delivers = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEntry::Deliver { .. }))
+        .count();
+    assert_eq!(starts, 3);
+    assert_eq!(terms, 3);
+    assert!(delivers >= 3, "each peer terminates on a delivery");
+    // Timestamps are monotone.
+    for w in trace.windows(2) {
+        assert!(w[0].at() <= w[1].at());
+    }
+    // Renderable.
+    let text = render_trace(trace);
+    assert!(text.contains("START") && text.contains("DONE"));
+}
+
+#[test]
+fn trace_records_crash_and_drop() {
+    let params = ModelParams::builder(8, 3)
+        .faults(FaultModel::Crash, 1)
+        .build()
+        .unwrap();
+    // Fixed delays + simultaneous start make the delivery order the send
+    // order, so peer 0's ping to the (pre-start-crashed) peer 1 is
+    // processed — and dropped — before anyone terminates.
+    let sim = SimBuilder::new(params)
+        .seed(2)
+        .protocol(|_| PingOnce { out: None, acc: None })
+        .adversary(
+            StandardAdversary::new(FixedDelay(100), CrashPlan::before_event([PeerId(1)], 0))
+                .simultaneous_start(),
+        )
+        .trace()
+        .build();
+    let report = sim.run().unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e, TraceEntry::Crash { peer, .. } if *peer == PeerId(1))));
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e, TraceEntry::Drop { to, .. } if *to == PeerId(1))));
+}
+
+#[test]
+fn trace_is_absent_when_not_requested() {
+    let params = ModelParams::fault_free(8, 2).unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(3)
+        .protocol(|_| PingOnce { out: None, acc: None })
+        .build();
+    let report = sim.run().unwrap();
+    assert!(report.trace.is_none());
+}

@@ -1,0 +1,109 @@
+//! Byzantine-minority Download (`β < 1/2`): the deterministic committee
+//! protocol against the randomized 2-cycle and multi-cycle protocols,
+//! under an actively hostile Byzantine coalition.
+//!
+//! ```sh
+//! cargo run --release --example byzantine_minority
+//! ```
+
+use dr_download::core::{FaultModel, ModelParams, PeerId, SegmentId, Segmentation};
+use dr_download::protocols::byz::strategies::{CollusionGroup, Equivocator, RandomNoise};
+use dr_download::protocols::{
+    CommitteeDownload, MultiCycleDownload, TwoCycleDownload, TwoCyclePlan,
+};
+use dr_download::sim::{RunReport, SimBuilder};
+
+fn params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, b)
+        .build()
+        .expect("valid parameters")
+}
+
+/// Attaches a hostile mix: equivocators, a τ-crossing collusion group,
+/// and noise.
+fn hostile<M: dr_download::core::ProtocolMessage>(
+    mut builder: SimBuilder<M>,
+    b: usize,
+    seg: Segmentation,
+) -> SimBuilder<M>
+where
+    Equivocator: dr_download::sim::Agent<M>,
+    CollusionGroup: dr_download::sim::Agent<M>,
+    RandomNoise: dr_download::sim::Agent<M>,
+{
+    for i in 0..b {
+        builder = match i % 3 {
+            0 => builder.byzantine(PeerId(i), Equivocator::new(seg, SegmentId(i % seg.count()))),
+            1 => builder.byzantine(PeerId(i), CollusionGroup::new(seg, SegmentId(0), 1)),
+            _ => builder.byzantine(PeerId(i), RandomNoise::new(seg)),
+        };
+    }
+    builder
+}
+
+fn show(name: &str, n: usize, report: &RunReport) {
+    println!(
+        "  {name:22} Q = {:6}  (naive would be {n}),  M = {:7},  T = {:.1}",
+        report.max_nonfaulty_queries, report.messages_sent, report.virtual_time_units
+    );
+}
+
+fn main() {
+    let (n, k, b) = (1usize << 15, 256usize, 32usize);
+    println!(
+        "n = {n}, k = {k}, b = {b} Byzantine (beta = {:.2}) — hostile mix of\n\
+         equivocators, colluders, and noise generators\n",
+        b as f64 / k as f64
+    );
+
+    // Deterministic committee protocol.
+    {
+        let sim = SimBuilder::new(params(n, k, b))
+            .seed(1)
+            .protocol(move |_| CommitteeDownload::new(n, k, b))
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        show("committee (Thm 3.4)", n, &report);
+    }
+
+    // Randomized 2-cycle protocol under attack.
+    {
+        let seg = match TwoCyclePlan::choose(n, k, b) {
+            TwoCyclePlan::Sampled { segments, .. } => Segmentation::new(n, segments),
+            TwoCyclePlan::Naive => panic!("expected sampled plan at this size"),
+        };
+        let builder = SimBuilder::new(params(n, k, b))
+            .seed(2)
+            .protocol(move |_| TwoCycleDownload::new(n, k, b));
+        let sim = hostile(builder, b, seg).build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        show("2-cycle (Thm 3.7)", n, &report);
+    }
+
+    // Randomized multi-cycle protocol under attack.
+    {
+        use dr_download::protocols::MultiCyclePlan;
+        let seg = match MultiCyclePlan::choose(n, k, b) {
+            MultiCyclePlan::Sampled {
+                initial_segments, ..
+            } => Segmentation::new(n, initial_segments),
+            MultiCyclePlan::Naive => panic!("expected sampled plan at this size"),
+        };
+        let builder = SimBuilder::new(params(n, k, b))
+            .seed(3)
+            .protocol(move |_| MultiCycleDownload::new(n, k, b));
+        let sim = hostile(builder, b, seg).build();
+        let input = sim.input().clone();
+        let report = sim.run().unwrap();
+        report.verify_downloads(&input).unwrap();
+        show("multi-cycle (Thm 3.12)", n, &report);
+    }
+
+    println!("\nevery protocol delivered the exact input to every honest peer;");
+    println!("the Byzantine coalition only managed to inflate query counts.");
+}

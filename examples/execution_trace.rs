@@ -1,0 +1,39 @@
+//! Watch an asynchronous execution unfold: Algorithm 2 with a crash,
+//! rendered as a structured trace (starts, deliveries, drops, crashes,
+//! terminations with virtual timestamps).
+//!
+//! ```sh
+//! cargo run --example execution_trace
+//! ```
+
+use dr_download::core::{FaultModel, ModelParams, PeerId};
+use dr_download::protocols::CrashMultiDownload;
+use dr_download::sim::{render_trace, CrashPlan, SimBuilder, StandardAdversary, UniformDelay};
+
+fn main() {
+    let (n, k, b) = (32usize, 4usize, 1usize);
+    let params = ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .expect("valid parameters");
+    let sim = SimBuilder::new(params)
+        .seed(5)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(StandardAdversary::new(
+            UniformDelay::new(),
+            CrashPlan::before_event([PeerId(2)], 2),
+        ))
+        .trace()
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().expect("no deadlock");
+    report.verify_downloads(&input).expect("exact download");
+
+    println!("Algorithm 2, n = {n}, k = {k}, peer 2 crashes after its second step:\n");
+    print!("{}", render_trace(report.trace.as_ref().expect("trace on")));
+    println!("\nall surviving peers downloaded the exact input;");
+    println!(
+        "Q = {} queries (naive = {n}), {} messages, T = {:.2} units",
+        report.max_nonfaulty_queries, report.messages_sent, report.virtual_time_units
+    );
+}

@@ -1,0 +1,89 @@
+//! Reproducibility: identical seeds produce identical executions for
+//! every protocol — the property all experiment records rely on.
+
+use dr_download::core::{FaultModel, ModelParams, PeerId};
+use dr_download::protocols::{
+    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, SingleCrashDownload,
+    TwoCycleDownload,
+};
+use dr_download::sim::{CrashPlan, RunReport, SimBuilder, StandardAdversary, UniformDelay};
+
+fn fingerprint(r: &RunReport) -> (Vec<u64>, u64, u64, u64) {
+    (
+        r.query_counts.clone(),
+        r.messages_sent,
+        r.virtual_time_ticks,
+        r.events,
+    )
+}
+
+fn crash_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap()
+}
+
+fn byz_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, b)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_protocols_are_seed_deterministic() {
+    let run_alg1 = |seed| {
+        let sim = SimBuilder::new(crash_params(120, 4, 1))
+            .seed(seed)
+            .protocol(|_| SingleCrashDownload::new(120, 4))
+            .adversary(StandardAdversary::new(
+                UniformDelay::new(),
+                CrashPlan::before_event([PeerId(1)], 1),
+            ))
+            .build();
+        fingerprint(&sim.run().unwrap())
+    };
+    let run_alg2 = |seed| {
+        let sim = SimBuilder::new(crash_params(256, 8, 4))
+            .seed(seed)
+            .protocol(|_| CrashMultiDownload::new(256, 8, 4))
+            .adversary(StandardAdversary::new(
+                UniformDelay::new(),
+                CrashPlan::before_event((0..3).map(PeerId), 1),
+            ))
+            .build();
+        fingerprint(&sim.run().unwrap())
+    };
+    let run_committee = |seed| {
+        let sim = SimBuilder::new(byz_params(90, 9, 3))
+            .seed(seed)
+            .protocol(|_| CommitteeDownload::new(90, 9, 3))
+            .build();
+        fingerprint(&sim.run().unwrap())
+    };
+    let run_two_cycle = |seed| {
+        let sim = SimBuilder::new(byz_params(1 << 12, 96, 8))
+            .seed(seed)
+            .protocol(|_| TwoCycleDownload::new(1 << 12, 96, 8))
+            .build();
+        fingerprint(&sim.run().unwrap())
+    };
+    let run_multi_cycle = |seed| {
+        let sim = SimBuilder::new(byz_params(1 << 12, 96, 8))
+            .seed(seed)
+            .protocol(|_| MultiCycleDownload::new(1 << 12, 96, 8))
+            .build();
+        fingerprint(&sim.run().unwrap())
+    };
+
+    assert_eq!(run_alg1(1), run_alg1(1));
+    assert_eq!(run_alg2(2), run_alg2(2));
+    assert_eq!(run_committee(3), run_committee(3));
+    assert_eq!(run_two_cycle(4), run_two_cycle(4));
+    assert_eq!(run_multi_cycle(5), run_multi_cycle(5));
+
+    // And different seeds genuinely change the execution.
+    assert_ne!(run_alg2(2), run_alg2(3));
+    assert_ne!(run_two_cycle(4), run_two_cycle(5));
+}

@@ -1,0 +1,212 @@
+//! Boundary instances: tiny inputs, tiny networks, n < k, and malformed
+//! traffic.
+
+use dr_download::core::{BitArray, Context, FaultModel, ModelParams, PeerId, Protocol};
+use dr_download::protocols::{
+    CommitteeDownload, CrashMultiDownload, MultiCrashMsg, NaiveDownload, TwoCycleDownload,
+};
+use dr_download::sim::{CrashPlan, SimBuilder, StandardAdversary, UniformDelay};
+use rand::RngCore;
+
+fn crash_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn single_bit_input() {
+    for (k, b) in [(1usize, 0usize), (4, 2), (8, 7)] {
+        let sim = SimBuilder::new(crash_params(1, k, b))
+            .seed(k as u64)
+            .protocol(move |_| CrashMultiDownload::new(1, k, b))
+            .build();
+        let input = sim.input().clone();
+        sim.run().unwrap().verify_downloads(&input).unwrap();
+    }
+}
+
+#[test]
+fn single_peer_network() {
+    let sim = SimBuilder::new(crash_params(100, 1, 0))
+        .seed(1)
+        .protocol(|_| CrashMultiDownload::new(100, 1, 0))
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert_eq!(report.max_nonfaulty_queries, 100);
+    assert_eq!(report.messages_sent, 0);
+}
+
+#[test]
+fn fewer_bits_than_peers() {
+    // n = 3, k = 8: most peers own nothing in most phases.
+    let sim = SimBuilder::new(crash_params(3, 8, 3))
+        .seed(2)
+        .protocol(|_| CrashMultiDownload::new(3, 8, 3))
+        .adversary(StandardAdversary::new(
+            UniformDelay::new(),
+            CrashPlan::before_event([PeerId(0), PeerId(1)], 1),
+        ))
+        .build();
+    let input = sim.input().clone();
+    sim.run().unwrap().verify_downloads(&input).unwrap();
+}
+
+#[test]
+fn two_peer_network_with_one_crash() {
+    // k = 2, b = 1: the threshold k − b = 1, so each peer can only count
+    // on itself — effectively naive, but must still terminate.
+    let sim = SimBuilder::new(crash_params(64, 2, 1))
+        .seed(3)
+        .protocol(|_| CrashMultiDownload::new(64, 2, 1))
+        .adversary(StandardAdversary::new(
+            UniformDelay::new(),
+            CrashPlan::before_event([PeerId(1)], 0),
+        ))
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert_eq!(report.query_counts[0], 64);
+}
+
+#[test]
+fn committee_with_exactly_half_minus_one() {
+    // Largest legal t for k = 9 is 4 (2t + 1 = 9: every peer serves on
+    // every committee).
+    let sim = SimBuilder::new(
+        ModelParams::builder(36, 9)
+            .faults(FaultModel::Byzantine, 4)
+            .build()
+            .unwrap(),
+    )
+    .seed(4)
+    .protocol(|_| CommitteeDownload::new(36, 9, 4))
+    .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    // Committee of 9 on every bit: everyone queries everything.
+    assert_eq!(report.max_nonfaulty_queries, 36);
+}
+
+#[test]
+fn two_cycle_tiny_input_falls_back_to_naive() {
+    let (n, k, b) = (16usize, 64usize, 8usize);
+    let sim = SimBuilder::new(
+        ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, b)
+            .build()
+            .unwrap(),
+    )
+    .seed(5)
+    .protocol(move |_| TwoCycleDownload::new(n, k, b))
+    .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+}
+
+/// A mock context for driving a protocol instance directly.
+struct MockCtx {
+    me: PeerId,
+    k: usize,
+    input: BitArray,
+    sent: Vec<(PeerId, MultiCrashMsg)>,
+    rng: rand::rngs::mock::StepRng,
+    queries: usize,
+}
+
+impl Context<MultiCrashMsg> for MockCtx {
+    fn me(&self) -> PeerId {
+        self.me
+    }
+    fn num_peers(&self) -> usize {
+        self.k
+    }
+    fn input_len(&self) -> usize {
+        self.input.len()
+    }
+    fn send(&mut self, to: PeerId, msg: MultiCrashMsg) {
+        self.sent.push((to, msg));
+    }
+    fn query(&mut self, index: usize) -> bool {
+        self.queries += 1;
+        self.input.get(index)
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        &mut self.rng
+    }
+}
+
+#[test]
+fn malformed_traffic_cannot_corrupt_crash_multi() {
+    // Crash-model protocol, but defensive handling of garbage must not
+    // panic or corrupt state: wrong-length bitmaps, bogus phases, bogus
+    // peer IDs, short Final arrays.
+    let n = 64;
+    let k = 4;
+    let mut p = CrashMultiDownload::new(n, k, 1);
+    let mut ctx = MockCtx {
+        me: PeerId(0),
+        k,
+        input: BitArray::from_fn(n, |i| i % 3 == 0),
+        sent: Vec::new(),
+        rng: rand::rngs::mock::StepRng::new(0, 1),
+        queries: 0,
+    };
+    p.on_start(&mut ctx);
+    // Wrong-length Response1 (must be rejected, sender not counted).
+    p.on_message(
+        PeerId(1),
+        MultiCrashMsg::Response1 {
+            phase: 1,
+            values: BitArray::zeros(3),
+        },
+        &mut ctx,
+    );
+    assert!(p.output().is_none());
+    // Bogus future-phase response is ignored.
+    p.on_message(
+        PeerId(2),
+        MultiCrashMsg::Response1 {
+            phase: 999,
+            values: BitArray::zeros(n / k),
+        },
+        &mut ctx,
+    );
+    // Request about an out-of-range peer answered with "me neither".
+    p.on_message(
+        PeerId(1),
+        MultiCrashMsg::Request2 {
+            phase: 1,
+            missing: vec![PeerId(77)],
+        },
+        &mut ctx,
+    );
+    // Short Final is rejected; protocol keeps running.
+    p.on_message(
+        PeerId(3),
+        MultiCrashMsg::Final {
+            bits: BitArray::zeros(n - 1),
+        },
+        &mut ctx,
+    );
+    // The bogus Final still triggers termination-by-direct-query, which
+    // must produce the *correct* output (queried, not trusted).
+    if let Some(bits) = p.output() { assert_eq!(bits, &ctx.input) }
+}
+
+#[test]
+fn naive_is_immune_to_any_traffic() {
+    let sim = SimBuilder::new(crash_params(32, 3, 0))
+        .seed(6)
+        .protocol(|_| NaiveDownload::new())
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration: every protocol × adversary combination that
+//! its fault regime admits must terminate with exact downloads.
+
+use dr_download::core::{FaultModel, ModelParams, PeerId};
+use dr_download::protocols::{
+    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload,
+    SingleCrashDownload, TwoCycleDownload,
+};
+use dr_download::sim::{
+    CrashDirective, CrashPlan, CrashTrigger, FixedDelay, SilentAgent, SimBuilder,
+    StandardAdversary, TargetedSlowdown, UniformDelay,
+};
+
+fn crash_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap()
+}
+
+fn byz_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, b)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn crash_multi_survives_every_delay_strategy() {
+    let (n, k, b) = (300usize, 6usize, 2usize);
+    let plans = || CrashPlan::before_event([PeerId(1), PeerId(4)], 2);
+    // Uniform random delays.
+    for seed in 0..3 {
+        let sim = SimBuilder::new(crash_params(n, k, b))
+            .seed(seed)
+            .protocol(move |_| CrashMultiDownload::new(n, k, b))
+            .adversary(StandardAdversary::new(UniformDelay::new(), plans()))
+            .build();
+        let input = sim.input().clone();
+        sim.run().unwrap().verify_downloads(&input).unwrap();
+    }
+    // Fixed (synchronous-looking) delays.
+    let sim = SimBuilder::new(crash_params(n, k, b))
+        .seed(9)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(StandardAdversary::new(FixedDelay(100), plans()))
+        .build();
+    let input = sim.input().clone();
+    sim.run().unwrap().verify_downloads(&input).unwrap();
+    // Targeted starvation of two peers.
+    let sim = SimBuilder::new(crash_params(n, k, b))
+        .seed(10)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(StandardAdversary::new(
+            TargetedSlowdown::new(vec![PeerId(0), PeerId(2)], 2),
+            plans(),
+        ))
+        .build();
+    let input = sim.input().clone();
+    sim.run().unwrap().verify_downloads(&input).unwrap();
+}
+
+#[test]
+fn every_protocol_in_its_regime() {
+    // Naive under maximal Byzantine presence.
+    {
+        let (n, k, b) = (128usize, 4usize, 3usize);
+        let mut builder = SimBuilder::new(byz_params(n, k, b))
+            .seed(1)
+            .protocol(|_| NaiveDownload::new());
+        for i in 1..=b {
+            builder = builder.byzantine(PeerId(i), SilentAgent::new());
+        }
+        let sim = builder.build();
+        let input = sim.input().clone();
+        sim.run().unwrap().verify_downloads(&input).unwrap();
+    }
+    // Algorithm 1 with a mid-broadcast crash.
+    {
+        let (n, k) = (120usize, 5usize);
+        let mut plan = CrashPlan::none();
+        plan.push(CrashDirective {
+            peer: PeerId(2),
+            trigger: CrashTrigger::DuringSend { event: 0, keep: 2 },
+        });
+        let sim = SimBuilder::new(crash_params(n, k, 1))
+            .seed(2)
+            .protocol(move |_| SingleCrashDownload::new(n, k))
+            .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+            .build();
+        let input = sim.input().clone();
+        sim.run().unwrap().verify_downloads(&input).unwrap();
+    }
+    // Committee under silent Byzantine members.
+    {
+        let (n, k, t) = (90usize, 9usize, 4usize);
+        let mut builder = SimBuilder::new(byz_params(n, k, t))
+            .seed(3)
+            .protocol(move |_| CommitteeDownload::new(n, k, t));
+        for i in 0..t {
+            builder = builder.byzantine(PeerId(2 * i), SilentAgent::new());
+        }
+        let sim = builder.build();
+        let input = sim.input().clone();
+        sim.run().unwrap().verify_downloads(&input).unwrap();
+    }
+    // Randomized protocols at sampling scale.
+    {
+        let (n, k, b) = (1usize << 13, 128usize, 16usize);
+        for seed in [4u64, 5] {
+            let sim = SimBuilder::new(byz_params(n, k, b))
+                .seed(seed)
+                .protocol(move |_| TwoCycleDownload::new(n, k, b))
+                .build();
+            let input = sim.input().clone();
+            sim.run().unwrap().verify_downloads(&input).unwrap();
+            let sim = SimBuilder::new(byz_params(n, k, b))
+                .seed(seed)
+                .protocol(move |_| MultiCycleDownload::new(n, k, b))
+                .build();
+            let input = sim.input().clone();
+            sim.run().unwrap().verify_downloads(&input).unwrap();
+        }
+    }
+}
+
+#[test]
+fn crash_multi_beta_extremes() {
+    // β → 1: only one survivor.
+    let (n, k) = (120usize, 6usize);
+    let victims: Vec<PeerId> = (1..6).map(PeerId).collect();
+    let sim = SimBuilder::new(crash_params(n, k, 5))
+        .seed(6)
+        .protocol(move |_| CrashMultiDownload::new(n, k, 5))
+        .adversary(StandardAdversary::new(
+            UniformDelay::new(),
+            CrashPlan::before_event(victims, 0),
+        ))
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert_eq!(report.nonfaulty.len(), 1);
+    // The lone survivor cannot beat n queries (nobody is left to help).
+    assert!(report.query_counts[0] as usize >= n);
+}
+
+#[test]
+fn unused_fault_budget_changes_nothing_about_correctness() {
+    // b reserved but nobody crashes: protocols still wait only for k − b
+    // and must terminate correctly.
+    let (n, k, b) = (240usize, 8usize, 5usize);
+    let sim = SimBuilder::new(crash_params(n, k, b))
+        .seed(7)
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert_eq!(report.crashed.len(), 0);
+}
+
+#[test]
+fn message_size_one_bit_still_terminates() {
+    // Pathological a = 1: every message is packetized bit by bit.
+    let params = ModelParams::builder(32, 4)
+        .faults(FaultModel::Crash, 1)
+        .message_bits(1)
+        .build()
+        .unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(8)
+        .protocol(move |_| CrashMultiDownload::new(32, 4, 1))
+        .adversary(StandardAdversary::new(
+            UniformDelay::new(),
+            CrashPlan::before_event([PeerId(3)], 1),
+        ))
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert!(report.virtual_time_units > 10.0, "tiny packets must cost time");
+}

@@ -1,0 +1,57 @@
+//! Golden-value regression tests: exact metrics of canonical seeded runs.
+//!
+//! The simulator is deterministic, so any change to a protocol's message
+//! flow, query pattern, or the simulator's scheduling shows up here as an
+//! exact-value diff. Intentional protocol changes should update these
+//! numbers consciously (and re-examine EXPERIMENTS.md); accidental ones
+//! get caught.
+
+use dr_bench::runners::{
+    run_committee, run_crash_multi, run_multi_cycle, run_single_crash, run_two_cycle, ByzMix,
+};
+use dr_download::core::PeerId;
+
+#[test]
+fn golden_alg1() {
+    let r = run_single_crash(1024, 8, 7, Some(PeerId(2)));
+    assert_eq!(
+        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
+        (128, 160, 1704)
+    );
+}
+
+#[test]
+fn golden_alg2() {
+    let r = run_crash_multi(2048, 16, 8, 8, 1024, false, 7);
+    assert_eq!(
+        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
+        (347, 1717, 14757)
+    );
+}
+
+#[test]
+fn golden_committee() {
+    let r = run_committee(512, 8, 2, 2, 7);
+    assert_eq!(
+        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
+        (320, 42, 1812)
+    );
+}
+
+#[test]
+fn golden_two_cycle() {
+    let r = run_two_cycle(4096, 128, 16, ByzMix::Mixed, 7);
+    assert_eq!(
+        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
+        (1366, 28448, 2673)
+    );
+}
+
+#[test]
+fn golden_multi_cycle() {
+    let r = run_multi_cycle(4096, 128, 16, ByzMix::Silent, 7);
+    assert_eq!(
+        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
+        (2048, 42672, 4072)
+    );
+}

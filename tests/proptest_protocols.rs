@@ -1,0 +1,171 @@
+//! Property-based tests on whole protocol executions: randomized crash
+//! plans, fault budgets, delays, and inputs — the Download specification
+//! must hold in every generated execution.
+
+use dr_download::core::{BitArray, FaultModel, ModelParams, PeerId};
+use dr_download::protocols::{CommitteeDownload, CrashMultiDownload, TwoCycleDownload};
+use dr_download::sim::{
+    CrashDirective, CrashPlan, CrashTrigger, SilentAgent, SimBuilder, StandardAdversary,
+    UniformDelay,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn crash_multi_holds_for_random_crash_plans(
+        seed in 0u64..10_000,
+        k in 3usize..10,
+        n_mult in 1usize..8,
+        crash_fraction in 0.0f64..0.99,
+        crash_event in 0u64..5,
+        mid_send in any::<bool>(),
+    ) {
+        let n = 64 * n_mult;
+        let b = ((crash_fraction * k as f64) as usize).min(k - 1);
+        let mut plan = CrashPlan::none();
+        for v in 0..b {
+            let trigger = if mid_send && v % 2 == 0 {
+                CrashTrigger::DuringSend { event: crash_event, keep: v % 3 }
+            } else {
+                CrashTrigger::BeforeEvent(crash_event)
+            };
+            plan.push(CrashDirective { peer: PeerId(v), trigger });
+        }
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Crash, b)
+            .build()
+            .unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(seed)
+            .protocol(move |_| CrashMultiDownload::new(n, k, b))
+            .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().expect("no deadlock");
+        report.verify_downloads(&input).expect("exact download");
+        // Query sanity: nobody exceeds the naive cost by more than the
+        // terminal slack.
+        prop_assert!(report.max_nonfaulty_queries <= (2 * n) as u64);
+    }
+
+    #[test]
+    fn committee_holds_for_random_silent_subsets(
+        seed in 0u64..10_000,
+        k in 3usize..12,
+        t_raw in 0usize..5,
+        n_mult in 1usize..6,
+    ) {
+        let t = t_raw.min((k - 1) / 2);
+        let n = 32 * n_mult;
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, t)
+            .build()
+            .unwrap();
+        let mut builder = SimBuilder::new(params)
+            .seed(seed)
+            .protocol(move |_| CommitteeDownload::new(n, k, t));
+        for i in 0..t {
+            builder = builder.byzantine(PeerId((seed as usize + i * 2) % k), SilentAgent::new());
+        }
+        let sim = builder.build();
+        let input = sim.input().clone();
+        let report = sim.run().expect("no deadlock");
+        report.verify_downloads(&input).expect("exact download");
+        prop_assert!(
+            report.max_nonfaulty_queries <= ((n * (2 * t + 1)).div_ceil(k) + 1) as u64
+        );
+    }
+
+    #[test]
+    fn two_cycle_holds_on_structured_inputs(
+        seed in 0u64..10_000,
+        pattern in 0usize..4,
+    ) {
+        // Structured inputs (all zeros, all ones, alternating, block) can
+        // tickle decision-tree edge cases that random inputs miss.
+        let (n, k, b) = (1usize << 12, 96usize, 8usize);
+        let input = match pattern {
+            0 => BitArray::zeros(n),
+            1 => BitArray::from_fn(n, |_| true),
+            2 => BitArray::from_fn(n, |i| i % 2 == 0),
+            _ => BitArray::from_fn(n, |i| i < n / 2),
+        };
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, b)
+            .build()
+            .unwrap();
+        let mut builder = SimBuilder::new(params)
+            .seed(seed)
+            .input(input.clone())
+            .protocol(move |_| TwoCycleDownload::new(n, k, b));
+        for i in 0..b {
+            builder = builder.byzantine(PeerId(i), SilentAgent::new());
+        }
+        let report = builder.build().run().expect("no deadlock");
+        report.verify_downloads(&input).expect("exact download");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multi_cycle_holds_on_structured_inputs(
+        seed in 0u64..10_000,
+        pattern in 0usize..4,
+        b in 0usize..24,
+    ) {
+        use dr_download::protocols::MultiCycleDownload;
+        let (n, k) = (1usize << 12, 128usize);
+        let input = match pattern {
+            0 => BitArray::zeros(n),
+            1 => BitArray::from_fn(n, |_| true),
+            2 => BitArray::from_fn(n, |i| i % 3 == 0),
+            _ => BitArray::from_fn(n, |i| (i / 64) % 2 == 0),
+        };
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Byzantine, b.max(1))
+            .build()
+            .unwrap();
+        let mut builder = SimBuilder::new(params)
+            .seed(seed)
+            .input(input.clone())
+            .protocol(move |_| MultiCycleDownload::new(n, k, b));
+        for i in 0..b {
+            builder = builder.byzantine(PeerId(i), SilentAgent::new());
+        }
+        let report = builder.build().run().expect("no deadlock");
+        report.verify_downloads(&input).expect("exact download");
+    }
+
+    #[test]
+    fn alg1_holds_for_random_single_crash_timing(
+        seed in 0u64..10_000,
+        k in 3usize..8,
+        victim in 0usize..8,
+        event in 0u64..6,
+        n_mult in 1usize..5,
+    ) {
+        use dr_download::protocols::SingleCrashDownload;
+        let n = 40 * n_mult;
+        let victim = PeerId(victim % k);
+        let params = ModelParams::builder(n, k)
+            .faults(FaultModel::Crash, 1)
+            .build()
+            .unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(seed)
+            .protocol(move |_| SingleCrashDownload::new(n, k))
+            .adversary(StandardAdversary::new(
+                UniformDelay::new(),
+                CrashPlan::before_event([victim], event),
+            ))
+            .build();
+        let input = sim.input().clone();
+        let report = sim.run().expect("no deadlock");
+        report.verify_downloads(&input).expect("exact download");
+        prop_assert!(report.max_nonfaulty_queries <= (n / k + n / (k * (k - 1)) + 2) as u64);
+    }
+}

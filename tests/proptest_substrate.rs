@@ -1,0 +1,141 @@
+//! Property-based tests on the substrate data structures: bit arrays,
+//! segmentations, the ownership function, frequency tables, and decision
+//! trees.
+
+use dr_download::core::{BitArray, PartialArray, PeerId, SegmentId, Segmentation};
+use dr_download::protocols::{owner, DecisionTree, FrequencyTable};
+use proptest::prelude::*;
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = BitArray> {
+    prop::collection::vec(any::<bool>(), 1..max_len).prop_map(|v| BitArray::from_bools(&v))
+}
+
+proptest! {
+    #[test]
+    fn bitarray_roundtrip_through_slices(bits in arb_bits(512), split in 0usize..512) {
+        let split = split % (bits.len() + 1);
+        let left = bits.slice(0..split);
+        let right = bits.slice(split..bits.len());
+        let mut rebuilt = BitArray::zeros(bits.len());
+        rebuilt.write_at(0, &left);
+        rebuilt.write_at(split, &right);
+        prop_assert_eq!(rebuilt, bits);
+    }
+
+    #[test]
+    fn first_difference_is_symmetric_and_correct(a in arb_bits(256), flips in prop::collection::vec(0usize..256, 0..4)) {
+        let mut b = a.clone();
+        for &j in &flips {
+            if j < b.len() {
+                b.flip(j);
+            }
+        }
+        match a.first_difference(&b) {
+            None => {
+                prop_assert_eq!(&a, &b);
+            }
+            Some(i) => {
+                prop_assert_ne!(a.get(i), b.get(i));
+                for j in 0..i {
+                    prop_assert_eq!(a.get(j), b.get(j));
+                }
+                prop_assert_eq!(b.first_difference(&a), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_array_learning_is_monotone(
+        values in arb_bits(256),
+        order in prop::collection::vec(0usize..256, 1..256),
+    ) {
+        let mut p = PartialArray::new(values.len());
+        let mut known = 0usize;
+        for &raw in &order {
+            let j = raw % values.len();
+            let newly = !p.is_known(j);
+            p.learn(j, values.get(j));
+            if newly {
+                known += 1;
+            }
+            prop_assert_eq!(p.unknown_count(), values.len() - known);
+            prop_assert_eq!(p.get(j), Some(values.get(j)));
+        }
+    }
+
+    #[test]
+    fn segmentation_tiles_and_nests(n in 2usize..5000, count_exp in 1u32..6) {
+        let count = (1usize << count_exp).min(n);
+        let seg = Segmentation::new(n, count);
+        // Tiles exactly.
+        let mut covered = 0;
+        for id in seg.ids() {
+            let r = seg.range(id);
+            prop_assert_eq!(r.start, covered);
+            prop_assert!(!r.is_empty());
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, n);
+        // Nests under halving.
+        if count >= 2 && count % 2 == 0 {
+            let coarse = Segmentation::new(n, count / 2);
+            for i in 0..count / 2 {
+                let parent = coarse.range(SegmentId(i));
+                let l = seg.range(SegmentId(2 * i));
+                let r = seg.range(SegmentId(2 * i + 1));
+                prop_assert_eq!(parent.start, l.start);
+                prop_assert_eq!(l.end, r.start);
+                prop_assert_eq!(r.end, parent.end);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_a_valid_peer_and_deterministic(j in 0usize..1_000_000, phase in 1usize..40, k in 1usize..300) {
+        let o = owner(j, phase, k);
+        prop_assert!(o < k);
+        prop_assert_eq!(o, owner(j, phase, k));
+    }
+
+    #[test]
+    fn decision_tree_always_recovers_a_present_truth(
+        strings in prop::collection::vec(prop::collection::vec(any::<bool>(), 8), 1..12),
+        truth_idx in 0usize..12,
+    ) {
+        let set: Vec<BitArray> = strings.iter().map(|s| BitArray::from_bools(s)).collect();
+        let truth = &set[truth_idx % set.len()];
+        let tree = DecisionTree::build(&set);
+        let mut queries = 0usize;
+        let out = tree.determine(0..8, &mut |j| {
+            queries += 1;
+            truth.get(j)
+        }).expect("non-empty set");
+        prop_assert_eq!(&out, truth);
+        // Cost bound of Protocol 3: at most |distinct strings| − 1 queries.
+        prop_assert!(queries <= tree.leaves().saturating_sub(1));
+        prop_assert_eq!(tree.internal_nodes(), tree.leaves() - 1);
+    }
+
+    #[test]
+    fn frequency_threshold_bounds_spam(
+        claims in prop::collection::vec((0usize..40, any::<bool>()), 1..120),
+        tau in 1usize..6,
+    ) {
+        // Each distinct sender contributes at most one claim; at most
+        // senders/τ strings can become τ-frequent.
+        let mut table = FrequencyTable::new();
+        let mut senders = std::collections::HashSet::new();
+        for (i, (sender, bit)) in claims.iter().enumerate() {
+            let counted = table.record(
+                PeerId(*sender),
+                SegmentId(0),
+                BitArray::from_bools(&[*bit, i % 2 == 0].map(|b| b)),
+            );
+            if counted {
+                senders.insert(*sender);
+            }
+        }
+        let frequent = table.frequent(SegmentId(0), tau);
+        prop_assert!(frequent.len() <= senders.len() / tau);
+    }
+}
