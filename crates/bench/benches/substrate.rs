@@ -32,7 +32,9 @@ fn bench_frequency_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("frequency_table_record");
     for &senders in &[64usize, 256] {
         let mut rng = StdRng::seed_from_u64(2);
-        let strings: Vec<BitArray> = (0..senders).map(|_| BitArray::random(64, &mut rng)).collect();
+        let strings: Vec<BitArray> = (0..senders)
+            .map(|_| BitArray::random(64, &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(senders), &strings, |b, s| {
             b.iter(|| {
                 let mut table = FrequencyTable::new();

@@ -1,10 +1,17 @@
 //! Regenerates every table and figure of the paper in one run.
 //! Use `cargo run --release -p dr-bench --bin all_experiments`.
+//! Pass `--json <dir>` to also write BENCH_<experiment>.json metrics.
+
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
 
 fn main() {
+    let opts = BinOptions::parse("all_experiments");
     let started = std::time::Instant::now();
-    for table in dr_bench::experiments::run_all() {
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::run_all_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
     eprintln!("\nall experiments done in {:.1?}", started.elapsed());
 }

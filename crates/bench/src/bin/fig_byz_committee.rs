@@ -1,7 +1,13 @@
 //! Regenerates the 'byz_committee' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::byz_committee::run() {
+    let opts = BinOptions::parse("fig_byz_committee");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::byz_committee::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

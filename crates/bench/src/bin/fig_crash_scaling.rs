@@ -1,7 +1,13 @@
 //! Regenerates the 'crash_scaling' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::crash_scaling::run() {
+    let opts = BinOptions::parse("fig_crash_scaling");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::crash_scaling::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

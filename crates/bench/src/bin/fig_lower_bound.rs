@@ -1,7 +1,13 @@
 //! Regenerates the 'lower_bound' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::lower_bound::run() {
+    let opts = BinOptions::parse("fig_lower_bound");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::lower_bound::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

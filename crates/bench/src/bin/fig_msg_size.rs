@@ -1,7 +1,13 @@
 //! Regenerates the 'msg_size' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::msg_size::run() {
+    let opts = BinOptions::parse("fig_msg_size");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::msg_size::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

@@ -1,7 +1,13 @@
 //! Regenerates the 'multi_cycle' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::multi_cycle::run() {
+    let opts = BinOptions::parse("fig_multi_cycle");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::multi_cycle::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

@@ -1,7 +1,13 @@
 //! Regenerates the 'strategy_ablation' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::strategy_ablation::run() {
+    let opts = BinOptions::parse("fig_strategy_ablation");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::strategy_ablation::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

@@ -1,7 +1,13 @@
 //! Regenerates the 'table1' experiment tables (see DESIGN.md E-index).
 
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
 fn main() {
-    for table in dr_bench::experiments::table1::run() {
+    let opts = BinOptions::parse("table1");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::table1::run_metered(&mut sink) {
         print!("{table}");
     }
+    opts.finish(&sink);
 }

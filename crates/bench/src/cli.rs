@@ -1,0 +1,93 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary (`all_experiments`, `table1`, `fig_*`) accepts:
+//!
+//! - `--json <dir>` — write one `BENCH_<experiment>.json` per experiment
+//!   into `<dir>` (created if missing);
+//! - `--threads <n>` — worker threads for trial fan-outs (overrides the
+//!   `DR_BENCH_THREADS` environment variable);
+//! - `--trials <n>` — trials per multi-trial row (overrides
+//!   `DR_BENCH_TRIALS`; default 3).
+
+use std::path::PathBuf;
+
+use crate::metrics::{self, MetricsSink};
+use crate::par;
+
+/// Options parsed from an experiment binary's argv.
+#[derive(Debug, Default)]
+pub struct BinOptions {
+    /// Directory for `BENCH_<experiment>.json` files, from `--json`.
+    pub json_dir: Option<PathBuf>,
+}
+
+impl BinOptions {
+    /// Parses argv, applying `--threads`/`--trials` overrides as a side
+    /// effect. Prints usage and exits on `--help` or unknown arguments.
+    pub fn parse(bin: &str) -> BinOptions {
+        let mut opts = BinOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let dir = args.next().unwrap_or_else(|| usage_exit(bin, 2));
+                    opts.json_dir = Some(PathBuf::from(dir));
+                }
+                "--threads" => {
+                    let n = args
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage_exit(bin, 2));
+                    par::set_threads(n);
+                }
+                "--trials" => {
+                    let n = args
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage_exit(bin, 2));
+                    metrics::set_trials(n);
+                }
+                "--help" | "-h" => usage_exit(bin, 0),
+                _ => {
+                    eprintln!("unknown argument: {arg}");
+                    usage_exit(bin, 2)
+                }
+            }
+        }
+        opts
+    }
+
+    /// Writes the sink's records if `--json` was given, reporting the
+    /// files written. Exits nonzero if the write fails.
+    pub fn finish(&self, sink: &MetricsSink) {
+        let Some(dir) = &self.json_dir else {
+            return;
+        };
+        match sink.write_json(dir) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write metrics to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage_exit<T>(bin: &str, code: i32) -> T {
+    eprintln!(
+        "usage: {bin} [--json <dir>] [--threads <n>] [--trials <n>]\n\
+         \n\
+         --json <dir>     write BENCH_<experiment>.json metrics into <dir>\n\
+         --threads <n>    worker threads for trial fan-outs (env {})\n\
+         --trials <n>     trials per multi-trial row (env {}; default 3)",
+        par::THREADS_ENV,
+        metrics::TRIALS_ENV,
+    );
+    std::process::exit(code)
+}

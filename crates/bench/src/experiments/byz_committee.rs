@@ -1,29 +1,53 @@
 //! E4 — Theorem 3.4: the deterministic committee protocol's `Q` grows
 //! linearly in the Byzantine budget `t` and meets the naive cost as
-//! `β → 1/2`.
+//! `β → 1/2`. Each row is a multi-trial mean fanned across the pool.
 
+use crate::metrics::{measure_par, trials, ExperimentParams, ExperimentRecord, MetricsSink};
 use crate::runners::{run_committee, run_naive};
 use crate::table::{f, Table};
 
-/// Runs the committee-scaling experiment.
+const EXPERIMENT: &str = "byz_committee";
+
+/// Runs the committee-scaling experiment, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the committee-scaling experiment, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let trials = trials();
     let (n, k) = (8192usize, 64usize);
     let naive_q = run_naive(n, k, 77).max_nonfaulty_queries;
     let mut t = Table::new(
         "E4 — Committee protocol: Q vs t (n = 8192, k = 64; naive = 8192)",
-        &["t", "beta", "Q meas", "Q theory = n(2t+1)/k", "vs naive", "M"],
+        &[
+            "t",
+            "beta",
+            "Q meas",
+            "Q theory = n(2t+1)/k",
+            "vs naive",
+            "M",
+        ],
     );
     for byz in [0usize, 2, 4, 8, 16, 24, 31] {
-        let r = run_committee(n, k, byz, byz, 21 + byz as u64);
+        let m = measure_par(trials, 21 + byz as u64, |seed| {
+            run_committee(n, k, byz, byz, seed)
+        });
         let theory = (n * (2 * byz + 1)).div_ceil(k);
         t.row(vec![
             byz.to_string(),
             f(byz as f64 / k as f64),
-            r.max_nonfaulty_queries.to_string(),
+            f(m.queries.mean),
             theory.to_string(),
-            f(r.max_nonfaulty_queries as f64 / naive_q as f64),
-            r.messages_sent.to_string(),
+            f(m.queries.mean / naive_q as f64),
+            f(m.messages.mean),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("t={byz}"),
+            ExperimentParams::nkb(n, k, byz),
+            m,
+        ));
     }
     vec![t]
 }

@@ -3,14 +3,22 @@
 //! The central crash-fault claim: optimal `Q = O(n/(k(1−β)))` for *any*
 //! `β < 1`. Sweeps `β` at fixed `(n, k)` with all `b` crashes actually
 //! occurring (the worst case), and compares the plain protocol against
-//! the Theorem 2.13 early-release variant on time.
+//! the Theorem 2.13 early-release variant on time. Sweep rows are
+//! multi-trial means; the E3c comparison keeps paired same-seed runs
+//! (parallelized across `b` values).
 
+use crate::metrics::{
+    measure_par, trials, ExperimentParams, ExperimentRecord, Measured, MetricsSink,
+};
+use crate::par;
 use crate::runners::{crash_params, run_crash_multi};
 use crate::table::{f, Table};
 use dr_core::PeerId;
 use dr_protocols::{CrashMultiDownload, MultiCrashMsg};
 use dr_sim::{Adversary, Delivery, SimBuilder, View, TICKS_PER_UNIT};
 use rand::Rng;
+
+const EXPERIMENT: &str = "crash_scaling";
 
 /// The scenario in which Theorem 2.13's early release pays off: the
 /// adversary withholds every stage-2 answer (they are only released when
@@ -68,8 +76,14 @@ pub fn run_e3c_probe() -> (u64, u64) {
     (run_with(false), run_with(true))
 }
 
-/// Runs the Algorithm 2 scaling experiments.
+/// Runs the Algorithm 2 scaling experiments, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the Algorithm 2 scaling experiments, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let trials = trials();
     let (n, k) = (8192usize, 32usize);
     let mut by_beta = Table::new(
         "E3a — Alg 2: Q vs beta (n = 8192, k = 32, all b crash)",
@@ -77,17 +91,25 @@ pub fn run() -> Vec<Table> {
     );
     for b in [0usize, 8, 16, 24, 28, 31] {
         let beta = b as f64 / k as f64;
-        let r = run_crash_multi(n, k, b, b, 1024, false, 11 + b as u64);
+        let m = measure_par(trials, 11 + b as u64, |seed| {
+            run_crash_multi(n, k, b, b, 1024, false, seed)
+        });
         let bound = (n as f64 / k as f64) * (1.0 / (1.0 - beta)) + (n as f64 / k as f64) + 1.0;
         by_beta.row(vec![
             f(beta),
             b.to_string(),
-            r.max_nonfaulty_queries.to_string(),
+            f(m.queries.mean),
             f(bound),
-            f(r.max_nonfaulty_queries as f64 / bound),
-            f(r.virtual_time_units),
-            r.messages_sent.to_string(),
+            f(m.queries.mean / bound),
+            f(m.time_units.mean),
+            f(m.messages.mean),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("E3a b={b}"),
+            ExperimentParams::nkb(n, k, b).with_a(1024),
+            m,
+        ));
     }
 
     let mut by_n = Table::new(
@@ -97,14 +119,22 @@ pub fn run() -> Vec<Table> {
     for exp in 10..=15 {
         let n = 1usize << exp;
         let b = 16usize;
-        let r = run_crash_multi(n, k, b, b, 1024, false, exp as u64);
+        let m = measure_par(trials, exp as u64, |seed| {
+            run_crash_multi(n, k, b, b, 1024, false, seed)
+        });
         let bound = (n as f64 / k as f64) * 2.0 + n as f64 / k as f64 + 1.0;
         by_n.row(vec![
             n.to_string(),
-            r.max_nonfaulty_queries.to_string(),
+            f(m.queries.mean),
             f(bound),
-            f(r.max_nonfaulty_queries as f64 / bound),
+            f(m.queries.mean / bound),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("E3b n={n}"),
+            ExperimentParams::nkb(n, k, b).with_a(1024),
+            m,
+        ));
     }
 
     let mut early = Table::new(
@@ -117,7 +147,11 @@ pub fn run() -> Vec<Table> {
             "T early",
         ],
     );
-    for b in [2usize, 4, 8] {
+    // Each b value is a paired plain/early comparison on the same seed —
+    // inherently single-run, so the pairs (not the trials) fan out.
+    let bs = [2usize, 4, 8];
+    let pairs = par::run_indexed(bs.len(), |i| {
+        let b = bs[i];
         let run_with = |early_release: bool, seed: u64| {
             let (n2, k2) = (4096usize, 16usize);
             let slow: Vec<PeerId> = (0..b).map(PeerId).collect();
@@ -138,8 +172,9 @@ pub fn run() -> Vec<Table> {
             report.verify_downloads(&input).expect("exact download");
             report
         };
-        let plain = run_with(false, 50);
-        let early_r = run_with(true, 50);
+        (run_with(false, 50), run_with(true, 50))
+    });
+    for (b, (plain, early_r)) in bs.iter().zip(&pairs) {
         early.row(vec![
             b.to_string(),
             plain.quiescence_releases.to_string(),
@@ -147,6 +182,14 @@ pub fn run() -> Vec<Table> {
             f(plain.virtual_time_units),
             f(early_r.virtual_time_units),
         ]);
+        for (variant, r) in [("plain", plain), ("early", early_r)] {
+            sink.push(ExperimentRecord::new(
+                EXPERIMENT,
+                format!("E3c b={b} {variant}"),
+                ExperimentParams::nkb(4096, 16, *b).with_a(4096),
+                Measured::one(r, 0.0),
+            ));
+        }
     }
     vec![by_beta, by_n, early]
 }
@@ -156,7 +199,10 @@ mod tests {
     #[test]
     fn early_release_avoids_forced_releases() {
         let tables = super::run_e3c_probe();
-        assert!(tables.0 >= tables.1, "early release should not need more forced releases");
+        assert!(
+            tables.0 >= tables.1,
+            "early release should not need more forced releases"
+        );
     }
 
     #[test]

@@ -13,22 +13,30 @@ pub mod synchrony;
 pub mod table1;
 pub mod two_cycle;
 
+use crate::metrics::MetricsSink;
 use crate::table::Table;
 
-/// Runs every experiment in sequence, printing each table.
+/// Runs every experiment in sequence, discarding metrics records.
 pub fn run_all() -> Vec<Table> {
+    run_all_metered(&mut MetricsSink::new())
+}
+
+/// Runs every experiment in sequence, recording metrics into `sink`
+/// (one `BENCH_<experiment>.json` group per module on
+/// [`MetricsSink::write_json`]).
+pub fn run_all_metered(sink: &mut MetricsSink) -> Vec<Table> {
     let mut tables = Vec::new();
-    tables.extend(table1::run());
-    tables.extend(crash_single::run());
-    tables.extend(crash_scaling::run());
-    tables.extend(byz_committee::run());
-    tables.extend(two_cycle::run());
-    tables.extend(multi_cycle::run());
-    tables.extend(lower_bound::run());
-    tables.extend(oracle::run());
-    tables.extend(msg_size::run());
-    tables.extend(strategy_ablation::run());
-    tables.extend(synchrony::run());
-    tables.extend(exhaustive::run());
+    tables.extend(table1::run_metered(sink));
+    tables.extend(crash_single::run_metered(sink));
+    tables.extend(crash_scaling::run_metered(sink));
+    tables.extend(byz_committee::run_metered(sink));
+    tables.extend(two_cycle::run_metered(sink));
+    tables.extend(multi_cycle::run_metered(sink));
+    tables.extend(lower_bound::run_metered(sink));
+    tables.extend(oracle::run_metered(sink));
+    tables.extend(msg_size::run_metered(sink));
+    tables.extend(strategy_ablation::run_metered(sink));
+    tables.extend(synchrony::run_metered(sink));
+    tables.extend(exhaustive::run_metered(sink));
     tables
 }

@@ -3,26 +3,44 @@
 //! §1.2 notes that increasing the message-size parameter yields faster
 //! protocols (the `n/a` terms in `T`). Sweeps `a` for Algorithm 2 and
 //! reports time and packet counts: `T` falls roughly as `1/a` until the
-//! latency term dominates, while `Q` is untouched.
+//! latency term dominates, while `Q` is untouched. Rows are multi-trial
+//! means fanned across the worker pool.
 
+use crate::metrics::{measure_par, trials, ExperimentParams, ExperimentRecord, MetricsSink};
 use crate::runners::run_crash_multi;
 use crate::table::{f, Table};
 
-/// Runs the message-size ablation.
+const EXPERIMENT: &str = "msg_size";
+
+/// Runs the message-size ablation, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the message-size ablation, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let trials = trials();
     let (n, k, b) = (8192usize, 16usize, 8usize);
     let mut t = Table::new(
         "E9 — Alg 2: message size a sweep (n = 8192, k = 16, beta = 0.5)",
         &["a (bits)", "T (units)", "M (packets)", "Q"],
     );
     for a in [64usize, 256, 1024, 4096, 16384] {
-        let r = run_crash_multi(n, k, b, b, a, false, 90);
+        let m = measure_par(trials, 90, |seed| {
+            run_crash_multi(n, k, b, b, a, false, seed)
+        });
         t.row(vec![
             a.to_string(),
-            f(r.virtual_time_units),
-            r.messages_sent.to_string(),
-            r.max_nonfaulty_queries.to_string(),
+            f(m.time_units.mean),
+            f(m.messages.mean),
+            f(m.queries.mean),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("a={a}"),
+            ExperimentParams::nkb(n, k, b).with_a(a),
+            m,
+        ));
     }
     vec![t]
 }

@@ -4,10 +4,14 @@
 //! The §4 application: total and per-node source reads for the sampling
 //! baseline (at several sample sizes `q`) against the Download-based
 //! pipeline, plus the ODD honest-range check and the robustness gap of
-//! small samples.
+//! small samples. The E8b seed sweeps fan across the worker pool.
 
+use crate::metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};
+use crate::par;
 use crate::table::{f, Table};
 use dr_oracle::{run_baseline, run_download_based, DownloadEngine, OracleConfig};
+
+const EXPERIMENT: &str = "oracle";
 
 fn config(seed: u64) -> OracleConfig {
     // k must be large enough for the 2-cycle sampler to beat naive
@@ -24,14 +28,29 @@ fn config(seed: u64) -> OracleConfig {
     }
 }
 
-/// Runs the oracle ODC comparison.
+/// Runs the oracle ODC comparison, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the oracle ODC comparison, recording per-pipeline metrics. The
+/// ODC pipelines meter source reads rather than simulator messages, so
+/// records carry the total read bits as the query statistic.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     let mut t = Table::new(
         "E8a — ODC cost: baseline (Thm 4.1) vs Download-based (Thm 4.2); 128 nodes (12 byz), 7 sources (2 corrupt), 128 cells",
         &["pipeline", "total read bits", "max node read bits", "ODD ok"],
     );
     let cfg = config(42);
     let m = cfg.sources();
+    let record = |sink: &mut MetricsSink, label: String, byz: usize, total: u64| {
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            label,
+            ExperimentParams::nkb(cfg.cells, cfg.nodes, byz),
+            Measured::queries_only(&[total as f64], 0.0),
+        ));
+    };
     for q in [1usize, 3, m] {
         let out = run_baseline(&cfg, q);
         t.row(vec![
@@ -40,6 +59,12 @@ pub fn run() -> Vec<Table> {
             out.max_node_read_bits.to_string(),
             out.odd_satisfied().to_string(),
         ]);
+        record(
+            sink,
+            format!("E8a baseline q={q}"),
+            cfg.byz_nodes,
+            out.total_read_bits,
+        );
     }
     let dl = run_download_based(&cfg, DownloadEngine::TwoCycle);
     t.row(vec![
@@ -48,6 +73,12 @@ pub fn run() -> Vec<Table> {
         dl.max_node_read_bits.to_string(),
         dl.odd_satisfied().to_string(),
     ]);
+    record(
+        sink,
+        "E8a download (2-cycle)".into(),
+        cfg.byz_nodes,
+        dl.total_read_bits,
+    );
     let mut crash_cfg = cfg;
     crash_cfg.byz_nodes = 0;
     let dlc = run_download_based(&crash_cfg, DownloadEngine::CrashMulti);
@@ -57,6 +88,12 @@ pub fn run() -> Vec<Table> {
         dlc.max_node_read_bits.to_string(),
         dlc.odd_satisfied().to_string(),
     ]);
+    record(
+        sink,
+        "E8a download (Alg 2, crash nodes)".into(),
+        0,
+        dlc.total_read_bits,
+    );
 
     // Robustness: ODD violation rate of small samples across seeds.
     let mut rob = Table::new(
@@ -74,21 +111,17 @@ pub fn run() -> Vec<Table> {
         seed,
     };
     for q in [1usize, 3] {
-        let mut bad = 0;
-        for seed in 0..20 {
-            if !run_baseline(&small(seed), q).odd_satisfied() {
-                bad += 1;
-            }
-        }
+        let ok = par::run_indexed(20, |seed| {
+            run_baseline(&small(seed as u64), q).odd_satisfied()
+        });
+        let bad = ok.iter().filter(|&&s| !s).count();
         rob.row(vec![format!("baseline q={q}"), f(bad as f64 / 20.0)]);
     }
     {
-        let mut bad = 0;
-        for seed in 0..20 {
-            if !run_download_based(&small(seed), DownloadEngine::TwoCycle).odd_satisfied() {
-                bad += 1;
-            }
-        }
+        let ok = par::run_indexed(20, |seed| {
+            run_download_based(&small(seed as u64), DownloadEngine::TwoCycle).odd_satisfied()
+        });
+        let bad = ok.iter().filter(|&&s| !s).count();
         rob.row(vec!["download (2-cycle)".into(), f(bad as f64 / 20.0)]);
     }
     vec![t, rob]

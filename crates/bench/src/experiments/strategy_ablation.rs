@@ -8,22 +8,31 @@
 //! per peer. This ablation measures each strategy class against that
 //! ceiling: silence (withholds coverage), equivocation and noise
 //! (below-τ, filtered for free), and τ-coordinated collusion (the only
-//! strategy that reaches the trees at all).
+//! strategy that reaches the trees at all). Trials fan across the pool.
 
-use crate::runners::{average, run_two_cycle, ByzMix};
+use crate::metrics::{measure_par, trials, ExperimentParams, ExperimentRecord, MetricsSink};
+use crate::runners::{average_par, run_two_cycle, ByzMix};
 use crate::table::{f, Table};
 
-/// Runs the strategy ablation.
+const EXPERIMENT: &str = "strategy_ablation";
+
+/// Runs the strategy ablation, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the strategy ablation, recording per-strategy metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let trials = trials();
     let (n, k, b) = (1usize << 15, 256usize, 48usize);
     let tau = crate::runners::two_cycle_segmentation(n, k, b)
         .map(|(_, tau)| tau)
         .unwrap_or(1);
     let mut t = Table::new(
-        "E10 — 2-cycle under Byzantine strategies (n = 2^15, k = 256, b = 48; mean of 3 seeds)",
+        "E10 — 2-cycle under Byzantine strategies (n = 2^15, k = 256, b = 48; mean over trials)",
         &["strategy", "Q mean", "extra vs none", "ceiling b/tau"],
     );
-    let base = average(3, 100, |s| {
+    let base = average_par(trials, 100, |s| {
         run_two_cycle(n, k, b, ByzMix::None, s).max_nonfaulty_queries as f64
     });
     for (name, mix) in [
@@ -32,15 +41,15 @@ pub fn run() -> Vec<Table> {
         ("mixed", ByzMix::Mixed),
         ("colluders", ByzMix::Colluders),
     ] {
-        let q = average(3, 100, |s| {
-            run_two_cycle(n, k, b, mix, s).max_nonfaulty_queries as f64
-        });
-        t.row(vec![
-            name.into(),
-            f(q),
-            f(q - base),
-            (b / tau).to_string(),
-        ]);
+        let m = measure_par(trials, 100, |s| run_two_cycle(n, k, b, mix, s));
+        let q = m.queries.mean;
+        t.row(vec![name.into(), f(q), f(q - base), (b / tau).to_string()]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            name,
+            ExperimentParams::nkb(n, k, b),
+            m,
+        ));
     }
     vec![t]
 }
@@ -54,7 +63,12 @@ mod tests {
         // run_two_cycle verifies outputs internally; exercising each mix
         // at a small size is the test.
         let (n, k, b) = (1usize << 13, 128usize, 24usize);
-        for mix in [ByzMix::None, ByzMix::Silent, ByzMix::Mixed, ByzMix::Colluders] {
+        for mix in [
+            ByzMix::None,
+            ByzMix::Silent,
+            ByzMix::Mixed,
+            ByzMix::Colluders,
+        ] {
             run_two_cycle(n, k, b, mix, 9);
         }
     }

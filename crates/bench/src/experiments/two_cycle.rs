@@ -3,24 +3,43 @@
 //! Sweeps `n` at fixed `(k, b)` against the naive and committee baselines
 //! (who wins where, and by how much), and sweeps `b` to show the
 //! degradation toward the naive fallback as `β → 1/2` — the paper's
-//! three-case parameter analysis in action.
+//! three-case parameter analysis in action. Rows are multi-trial means
+//! fanned across the worker pool.
 
+use crate::metrics::{measure_par, trials, ExperimentParams, ExperimentRecord, MetricsSink};
 use crate::runners::{run_committee, run_naive, run_two_cycle, two_cycle_segmentation, ByzMix};
 use crate::table::{f, Table};
 
-/// Runs the 2-cycle experiments.
+const EXPERIMENT: &str = "two_cycle";
+
+/// Runs the 2-cycle experiments, discarding metrics records.
 pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the 2-cycle experiments, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let trials = trials();
     let (k, b) = (256usize, 32usize);
     let mut by_n = Table::new(
         "E5a — 2-cycle vs baselines: Q vs n (k = 256, b = 32, mixed byz)",
-        &["n", "segments", "Q 2-cycle", "Q committee", "Q naive", "winner"],
+        &[
+            "n",
+            "segments",
+            "Q 2-cycle",
+            "Q committee",
+            "Q naive",
+            "winner",
+        ],
     );
     for exp in 12..=17 {
         let n = 1usize << exp;
-        let r = run_two_cycle(n, k, b, ByzMix::Mixed, 30 + exp as u64);
-        let committee_q = (n * (2 * b + 1)).div_ceil(k) as u64;
-        let naive_q = n as u64;
-        let q = r.max_nonfaulty_queries;
+        let m = measure_par(trials, 30 + exp as u64, |seed| {
+            run_two_cycle(n, k, b, ByzMix::Mixed, seed)
+        });
+        let committee_q = (n * (2 * b + 1)).div_ceil(k) as f64;
+        let naive_q = n as f64;
+        let q = m.queries.mean;
         let segments = two_cycle_segmentation(n, k, b)
             .map(|(s, _)| s.count().to_string())
             .unwrap_or_else(|| "naive".into());
@@ -34,11 +53,17 @@ pub fn run() -> Vec<Table> {
         by_n.row(vec![
             n.to_string(),
             segments,
-            q.to_string(),
-            committee_q.to_string(),
-            naive_q.to_string(),
+            f(q),
+            f(committee_q),
+            f(naive_q),
             winner.into(),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("E5a n={n}"),
+            ExperimentParams::nkb(n, k, b),
+            m,
+        ));
     }
 
     let mut by_b = Table::new(
@@ -47,7 +72,9 @@ pub fn run() -> Vec<Table> {
     );
     let n = 1usize << 15;
     for byz in [0usize, 16, 32, 64, 96, 120, 127] {
-        let r = run_two_cycle(n, k, byz, ByzMix::Silent, 40 + byz as u64);
+        let m = measure_par(trials, 40 + byz as u64, |seed| {
+            run_two_cycle(n, k, byz, ByzMix::Silent, seed)
+        });
         let plan = two_cycle_segmentation(n, k, byz)
             .map(|(s, tau)| format!("p={} tau={tau}", s.count()))
             .unwrap_or_else(|| "naive".into());
@@ -55,9 +82,15 @@ pub fn run() -> Vec<Table> {
             byz.to_string(),
             f(byz as f64 / k as f64),
             plan,
-            r.max_nonfaulty_queries.to_string(),
+            f(m.queries.mean),
             n.to_string(),
         ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("E5b b={byz}"),
+            ExperimentParams::nkb(n, k, byz),
+            m,
+        ));
     }
 
     // Reference committee/naive runs at the E5a sizes use the same silent
@@ -68,16 +101,24 @@ pub fn run() -> Vec<Table> {
     );
     {
         let n = 1usize << 15;
-        let tc = run_two_cycle(n, k, b, ByzMix::Silent, 51);
-        let cm = run_committee(n, k, b, b, 52);
-        let nv = run_naive(n, k, 53);
-        for (name, r) in [("2-cycle", tc), ("committee", cm), ("naive", nv)] {
+        let tc = measure_par(trials, 51, |seed| {
+            run_two_cycle(n, k, b, ByzMix::Silent, seed)
+        });
+        let cm = measure_par(trials, 52, |seed| run_committee(n, k, b, b, seed));
+        let nv = measure_par(trials, 53, |seed| run_naive(n, k, seed));
+        for (name, m) in [("2-cycle", tc), ("committee", cm), ("naive", nv)] {
             fair.row(vec![
                 name.into(),
-                r.max_nonfaulty_queries.to_string(),
-                f(r.virtual_time_units),
-                r.messages_sent.to_string(),
+                f(m.queries.mean),
+                f(m.time_units.mean),
+                f(m.messages.mean),
             ]);
+            sink.push(ExperimentRecord::new(
+                EXPERIMENT,
+                format!("E5c {name}"),
+                ExperimentParams::nkb(n, k, b),
+                m,
+            ));
         }
     }
     vec![by_n, by_b, fair]

@@ -9,10 +9,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod experiments;
+pub mod metrics;
+pub mod par;
 pub mod runners;
 pub mod stats;
 pub mod table;
 
+pub use metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};
 pub use stats::Stats;
 pub use table::{f, Table};

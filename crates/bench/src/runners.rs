@@ -4,10 +4,12 @@
 use dr_core::{BitArray, FaultModel, ModelParams, PeerId, SegmentId, Segmentation};
 use dr_protocols::byz::strategies::{CollusionGroup, Equivocator, RandomNoise};
 use dr_protocols::{
-    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload,
-    SingleCrashDownload, TwoCycleDownload, TwoCyclePlan,
+    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload, SingleCrashDownload,
+    TwoCycleDownload, TwoCyclePlan,
 };
 use dr_sim::{CrashPlan, RunReport, SilentAgent, SimBuilder, StandardAdversary, UniformDelay};
+
+use crate::stats::Stats;
 
 /// Mix of Byzantine behaviours injected in the randomized-protocol runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,18 +244,25 @@ pub fn run_multi_cycle(n: usize, k: usize, b: usize, mix: ByzMix, seed: u64) -> 
     verified(builder.build())
 }
 
-/// Mean of a sample.
+/// Mean of a sample (delegates to [`Stats::of`]).
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    Stats::of(xs).mean
 }
 
-/// Convenience: repeats a run over `trials` seeds and averages a metric.
-pub fn average<R: Fn(u64) -> f64>(trials: u64, base_seed: u64, run: R) -> f64 {
-    let xs: Vec<f64> = (0..trials).map(|t| run(base_seed + t)).collect();
-    mean(&xs)
+/// Convenience: repeats a run over `trials` seeds and averages a metric
+/// (delegates to [`Stats::sample`]).
+pub fn average<R: FnMut(u64) -> f64>(trials: u64, base_seed: u64, run: R) -> f64 {
+    Stats::sample(trials, base_seed, run).mean
+}
+
+/// Parallel [`average`]: fans trials across the worker pool via
+/// [`Stats::sample_par`]. Seeds and aggregation order match the serial
+/// path, so the result is bit-identical for any thread count.
+pub fn average_par<R>(trials: u64, base_seed: u64, run: R) -> f64
+where
+    R: Fn(u64) -> f64 + Sync,
+{
+    Stats::sample_par(trials, base_seed, run).mean
 }
 
 /// The all-zeros input convenience used by lower-bound experiments.

@@ -1,7 +1,9 @@
 //! Small-sample statistics for multi-trial experiments.
 
+use serde::{Deserialize, Serialize};
+
 /// Summary statistics of a sample.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
     /// Number of observations.
     pub count: usize,
@@ -46,6 +48,19 @@ impl Stats {
     /// Runs `f` over `trials` consecutive seeds and summarizes the metric.
     pub fn sample<R: FnMut(u64) -> f64>(trials: u64, base_seed: u64, mut f: R) -> Stats {
         let xs: Vec<f64> = (0..trials).map(|t| f(base_seed + t)).collect();
+        Stats::of(&xs)
+    }
+
+    /// Parallel [`Stats::sample`]: fans the trials across the worker pool.
+    ///
+    /// Trial `t` always runs with seed `base_seed + t` and results are
+    /// aggregated in trial order, so the returned statistics are
+    /// bit-identical to the serial path for any thread count.
+    pub fn sample_par<R>(trials: u64, base_seed: u64, f: R) -> Stats
+    where
+        R: Fn(u64) -> f64 + Sync,
+    {
+        let xs = crate::par::run_indexed(trials as usize, |t| f(base_seed + t as u64));
         Stats::of(&xs)
     }
 }

@@ -1,0 +1,43 @@
+//! The parallel trial runner must be bit-identical to the serial one:
+//! trial `t` always runs with seed `base_seed + t`, and results are
+//! merged back in index order before aggregation, so thread count and
+//! scheduling cannot leak into the statistics.
+
+use dr_bench::runners::{average, average_par};
+use dr_bench::{par, Stats};
+
+/// A deterministic, seed-sensitive stand-in for a simulation run.
+fn fake_trial(seed: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    x ^= x >> 33;
+    (x % 10_000) as f64 / 7.0
+}
+
+#[test]
+fn sample_par_matches_sample_bit_for_bit() {
+    for threads in [1, 2, 4, 7] {
+        par::set_threads(threads);
+        let par_stats = Stats::sample_par(64, 123, fake_trial);
+        par::set_threads(0);
+        let serial = Stats::sample(64, 123, fake_trial);
+        assert_eq!(serial.count, par_stats.count, "threads={threads}");
+        // Bit-identity, not approximate equality: the merged sample
+        // order must match the serial order exactly.
+        assert!(
+            serial.mean.to_bits() == par_stats.mean.to_bits()
+                && serial.std.to_bits() == par_stats.std.to_bits()
+                && serial.min.to_bits() == par_stats.min.to_bits()
+                && serial.max.to_bits() == par_stats.max.to_bits(),
+            "threads={threads}: serial {serial:?} != parallel {par_stats:?}"
+        );
+    }
+}
+
+#[test]
+fn average_par_matches_average() {
+    par::set_threads(3);
+    let p = average_par(17, 9, fake_trial);
+    par::set_threads(0);
+    let s = average(17, 9, fake_trial);
+    assert_eq!(s.to_bits(), p.to_bits());
+}

@@ -14,11 +14,20 @@ fn print_report(report: &RunReport, n: usize) {
     println!("nonfaulty peers    : {}", report.nonfaulty.len());
     println!("crashed peers      : {}", report.crashed.len());
     println!("byzantine peers    : {}", report.byzantine.len());
-    println!("Q (max nonfaulty)  : {} (naive = {n})", report.max_nonfaulty_queries);
-    println!("mean queries       : {:.1}", report.mean_nonfaulty_queries());
+    println!(
+        "Q (max nonfaulty)  : {} (naive = {n})",
+        report.max_nonfaulty_queries
+    );
+    println!(
+        "mean queries       : {:.1}",
+        report.mean_nonfaulty_queries()
+    );
     println!("messages (packets) : {}", report.messages_sent);
     println!("message bits       : {}", report.message_bits);
-    println!("virtual time       : {:.2} units", report.virtual_time_units);
+    println!(
+        "virtual time       : {:.2} units",
+        report.virtual_time_units
+    );
     println!("events             : {}", report.events);
     println!("verified           : every nonfaulty peer downloaded the exact input");
 }
@@ -102,8 +111,11 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
         "{}",
         dr_sim::render_trace(report.trace.as_ref().expect("trace enabled"))
     );
-    println!("
-Q = {}, T = {:.2} units", report.max_nonfaulty_queries, report.virtual_time_units);
+    println!(
+        "
+Q = {}, T = {:.2} units",
+        report.max_nonfaulty_queries, report.virtual_time_units
+    );
     Ok(())
 }
 
@@ -119,9 +131,7 @@ pub fn attack(args: &Args) -> Result<(), ArgError> {
         "balanced" => {
             deterministic_attack(n, k, target, move |_| BalancedDownload::new(n, k), seed)
         }
-        "alg1" => {
-            deterministic_attack(n, k, target, move |_| SingleCrashDownload::new(n, k), seed)
-        }
+        "alg1" => deterministic_attack(n, k, target, move |_| SingleCrashDownload::new(n, k), seed),
         "committee" => {
             let t: usize = args.num("t", (k - 1) / 4)?;
             deterministic_attack(n, k, target, move |_| CommitteeDownload::new(n, k, t), seed)
@@ -204,10 +214,9 @@ pub fn explore(args: &Args) -> Result<(), ArgError> {
     let seed: u64 = args.num("seed", 0)?;
     let max_schedules: u64 = args.num("max-schedules", 100_000)?;
     let crashed: Vec<PeerId> = match args.get("crash") {
-        Some(v) => vec![PeerId(
-            v.parse::<usize>()
-                .map_err(|_| ArgError(format!("--crash expects a peer index, got '{v}'")))?,
-        )],
+        Some(v) => vec![PeerId(v.parse::<usize>().map_err(|_| {
+            ArgError(format!("--crash expects a peer index, got '{v}'"))
+        })?)],
         None => Vec::new(),
     };
     let mut rng_input = BitArray::zeros(n);
@@ -241,7 +250,10 @@ pub fn explore(args: &Args) -> Result<(), ArgError> {
     );
     match report.counterexample {
         None => println!("verdict: PASS — every explored schedule satisfies Download"),
-        Some(ce) => println!("verdict: FAIL — {} (choices {:?})", ce.violation, ce.choices),
+        Some(ce) => println!(
+            "verdict: FAIL — {} (choices {:?})",
+            ce.violation, ce.choices
+        ),
     }
     Ok(())
 }
@@ -255,27 +267,57 @@ where
     dr_sim::explore::explore(config, factory)
 }
 
-/// `dr experiments` — regenerate the paper's tables.
+/// `dr experiments` — regenerate the paper's tables. `--json <dir>`
+/// additionally writes one `BENCH_<experiment>.json` metrics file per
+/// experiment; `--threads`/`--trials` control the parallel trial runner.
 pub fn experiments(args: &Args) -> Result<(), ArgError> {
     use dr_bench::experiments as exp;
+    use dr_bench::metrics::MetricsSink;
+    if let Some(threads) = args.get("threads") {
+        let n: usize = args.require_num("threads")?;
+        if n == 0 {
+            return Err(ArgError(format!(
+                "--threads must be positive, got '{threads}'"
+            )));
+        }
+        dr_bench::par::set_threads(n);
+    }
+    if let Some(trials) = args.get("trials") {
+        let n: u64 = args.require_num("trials")?;
+        if n == 0 {
+            return Err(ArgError(format!(
+                "--trials must be positive, got '{trials}'"
+            )));
+        }
+        dr_bench::metrics::set_trials(n);
+    }
+    let mut sink = MetricsSink::new();
     let tables = match args.get("only") {
-        None => exp::run_all(),
-        Some("table1") => exp::table1::run(),
-        Some("crash_single") => exp::crash_single::run(),
-        Some("crash_scaling") => exp::crash_scaling::run(),
-        Some("byz_committee") => exp::byz_committee::run(),
-        Some("two_cycle") => exp::two_cycle::run(),
-        Some("multi_cycle") => exp::multi_cycle::run(),
-        Some("lower_bound") => exp::lower_bound::run(),
-        Some("oracle") => exp::oracle::run(),
-        Some("msg_size") => exp::msg_size::run(),
-        Some("strategy_ablation") => exp::strategy_ablation::run(),
-        Some("synchrony") => exp::synchrony::run(),
-        Some("exhaustive") => exp::exhaustive::run(),
+        None => exp::run_all_metered(&mut sink),
+        Some("table1") => exp::table1::run_metered(&mut sink),
+        Some("crash_single") => exp::crash_single::run_metered(&mut sink),
+        Some("crash_scaling") => exp::crash_scaling::run_metered(&mut sink),
+        Some("byz_committee") => exp::byz_committee::run_metered(&mut sink),
+        Some("two_cycle") => exp::two_cycle::run_metered(&mut sink),
+        Some("multi_cycle") => exp::multi_cycle::run_metered(&mut sink),
+        Some("lower_bound") => exp::lower_bound::run_metered(&mut sink),
+        Some("oracle") => exp::oracle::run_metered(&mut sink),
+        Some("msg_size") => exp::msg_size::run_metered(&mut sink),
+        Some("strategy_ablation") => exp::strategy_ablation::run_metered(&mut sink),
+        Some("synchrony") => exp::synchrony::run_metered(&mut sink),
+        Some("exhaustive") => exp::exhaustive::run_metered(&mut sink),
         Some(other) => return Err(ArgError(format!("unknown experiment '{other}'"))),
     };
     for table in tables {
         print!("{table}");
+    }
+    if let Some(dir) = args.get("json") {
+        let paths = sink
+            .write_json(std::path::Path::new(dir))
+            .map_err(|e| ArgError(format!("failed to write metrics to {dir}: {e}")))?;
+        for p in paths {
+            eprintln!("wrote {}", p.display());
+        }
     }
     Ok(())
 }

@@ -10,7 +10,7 @@
 //!            [--engine <two-cycle|crash>] [--seed <u64>]
 //! dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
 //!            [--max-schedules <count>] [--seed <u64>]
-//! dr experiments [--only <name>]
+//! dr experiments [--only <name>] [--json <dir>] [--threads <n>] [--trials <n>]
 //! ```
 
 mod args;
@@ -32,7 +32,8 @@ USAGE:
   dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
              [--max-schedules <count>] [--seed <u64>]
   dr trace   [--n <bits>] [--k <peers>] [--b <faults>] [--crashes <count>] [--seed <u64>]
-  dr experiments [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
+  dr experiments [--json <dir>] [--threads <n>] [--trials <n>]
+                 [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
                   multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
                   synchrony|exhaustive>]
 ";

@@ -25,8 +25,19 @@ fn help_prints_usage() {
 #[test]
 fn run_alg2_reports_metrics() {
     let (ok, stdout, _) = dr(&[
-        "run", "--protocol", "alg2", "--n", "256", "--k", "8", "--b", "4", "--crashes", "4",
-        "--seed", "2",
+        "run",
+        "--protocol",
+        "alg2",
+        "--n",
+        "256",
+        "--k",
+        "8",
+        "--b",
+        "4",
+        "--crashes",
+        "4",
+        "--seed",
+        "2",
     ]);
     assert!(ok);
     assert!(stdout.contains("Q (max nonfaulty)"));
@@ -50,7 +61,15 @@ fn attack_fails_against_naive() {
 #[test]
 fn explore_passes_on_tiny_instance() {
     let (ok, stdout, _) = dr(&[
-        "explore", "--protocol", "alg2", "--n", "4", "--k", "3", "--crash", "0",
+        "explore",
+        "--protocol",
+        "alg2",
+        "--n",
+        "4",
+        "--k",
+        "3",
+        "--crash",
+        "0",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("PASS"));

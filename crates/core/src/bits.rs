@@ -136,7 +136,11 @@ impl BitArray {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: Range<usize>) -> BitArray {
-        assert!(range.end <= self.len, "slice {range:?} out of range {}", self.len);
+        assert!(
+            range.end <= self.len,
+            "slice {range:?} out of range {}",
+            self.len
+        );
         BitArray::from_fn(range.len(), |i| self.get(range.start + i))
     }
 
@@ -424,7 +428,10 @@ mod tests {
         }
         assert!(p.is_complete());
         let done = p.into_complete();
-        assert_eq!(done, BitArray::from_bools(&[true, false, true, false, true]));
+        assert_eq!(
+            done,
+            BitArray::from_bools(&[true, false, true, false, true])
+        );
     }
 
     #[test]

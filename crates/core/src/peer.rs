@@ -94,7 +94,11 @@ impl PeerSet {
     ///
     /// Panics if `peer` is outside the universe.
     pub fn insert(&mut self, peer: PeerId) -> bool {
-        assert!(peer.0 < self.universe, "peer {peer} outside universe {}", self.universe);
+        assert!(
+            peer.0 < self.universe,
+            "peer {peer} outside universe {}",
+            self.universe
+        );
         let (w, b) = (peer.0 / 64, peer.0 % 64);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;

@@ -57,7 +57,10 @@ impl Segmentation {
     /// Panics if `count == 0` or `count > n` (a segment must be non-empty).
     pub fn new(n: usize, count: usize) -> Self {
         assert!(count > 0, "segment count must be positive");
-        assert!(count <= n, "cannot split {n} bits into {count} non-empty segments");
+        assert!(
+            count <= n,
+            "cannot split {n} bits into {count} non-empty segments"
+        );
         Segmentation { n, count }
     }
 
@@ -86,7 +89,11 @@ impl Segmentation {
     ///
     /// Panics if `id` is out of range.
     pub fn range(&self, id: SegmentId) -> Range<usize> {
-        assert!(id.0 < self.count, "segment {id} out of range {}", self.count);
+        assert!(
+            id.0 < self.count,
+            "segment {id} out of range {}",
+            self.count
+        );
         let start = id.0 * self.n / self.count;
         let end = (id.0 + 1) * self.n / self.count;
         start..end

@@ -122,17 +122,16 @@ impl QueryMeter {
 
     /// Query counts for every peer, indexed by peer ID.
     pub fn counts(&self) -> Vec<u64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Maximum query count over the given set of peers (the paper's `Q`
     /// when restricted to nonfaulty peers).
     pub fn max_over(&self, peers: impl IntoIterator<Item = PeerId>) -> u64 {
-        peers
-            .into_iter()
-            .map(|p| self.count(p))
-            .max()
-            .unwrap_or(0)
+        peers.into_iter().map(|p| self.count(p)).max().unwrap_or(0)
     }
 
     /// The exact indices `peer` queried, in order, if tracking is enabled.
@@ -254,10 +253,7 @@ mod tests {
     use super::*;
 
     fn source(n: usize) -> SharedSource {
-        SharedSource::new(
-            ArraySource::new(BitArray::from_fn(n, |i| i % 3 == 0)),
-            4,
-        )
+        SharedSource::new(ArraySource::new(BitArray::from_fn(n, |i| i % 3 == 0)), 4)
     }
 
     #[test]
@@ -314,10 +310,7 @@ mod tests {
 
     #[test]
     fn index_tracking_records_indices() {
-        let s = SharedSource::with_index_tracking(
-            ArraySource::new(BitArray::zeros(8)),
-            2,
-        );
+        let s = SharedSource::with_index_tracking(ArraySource::new(BitArray::zeros(8)), 2);
         let h = s.handle(PeerId(1));
         h.query(4);
         h.query(2);

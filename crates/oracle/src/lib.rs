@@ -32,6 +32,8 @@ mod source;
 pub use dynamic::DriftingSource;
 pub use encode::{bits_to_values, values_to_bits, BITS_PER_VALUE};
 pub use median::{in_honest_range, median};
-pub use odc::{run_baseline, run_baseline_on, run_download_based, DownloadEngine, OdcOutcome, OracleConfig};
+pub use odc::{
+    run_baseline, run_baseline_on, run_download_based, DownloadEngine, OdcOutcome, OracleConfig,
+};
 pub use onchain::Contract;
 pub use source::{CorruptSource, DataSource, EquivocatingSource, HonestSource, SourceFleet};

@@ -188,7 +188,7 @@ fn run_instance<P, F>(
 ) -> dr_sim::RunReport
 where
     P: dr_core::Protocol + 'static,
-    F: FnMut(PeerId) -> P + 'static,
+    F: FnMut(PeerId) -> P + Send + 'static,
 {
     let k = params.k();
     let mut builder = SimBuilder::new(params)

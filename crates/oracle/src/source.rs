@@ -184,7 +184,13 @@ impl SourceFleet {
             // Alternate between low-ball and high-ball manipulation.
             let values: Vec<u64> = truth
                 .iter()
-                .map(|&t| if i % 2 == 0 { t / 100 } else { t.saturating_mul(100) })
+                .map(|&t| {
+                    if i % 2 == 0 {
+                        t / 100
+                    } else {
+                        t.saturating_mul(100)
+                    }
+                })
                 .collect();
             sources.push(Box::new(CorruptSource::new(values)));
         }

@@ -298,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    fn non_member_votes_are_ignored()  {
+    fn non_member_votes_are_ignored() {
         let mut p = CommitteeDownload::new(10, 5, 1);
         let c = p.committee_size();
         // Find a peer not on bit 0's committee.

@@ -46,7 +46,11 @@ impl DecisionTree {
         let mut set: Vec<BitArray> = Vec::new();
         for s in strings {
             if let Some(first) = set.first() {
-                assert_eq!(first.len(), s.len(), "overlapping strings must have equal length");
+                assert_eq!(
+                    first.len(),
+                    s.len(),
+                    "overlapping strings must have equal length"
+                );
             }
             if !set.contains(s) {
                 set.push(s.clone());
@@ -134,7 +138,11 @@ mod tests {
     }
 
     /// Runs determine against a concrete source array.
-    fn determine_against(tree: &DecisionTree, source: &BitArray, start: usize) -> (Option<BitArray>, usize) {
+    fn determine_against(
+        tree: &DecisionTree,
+        source: &BitArray,
+        start: usize,
+    ) -> (Option<BitArray>, usize) {
         let mut queries = 0;
         let out = tree.determine(start..start + 4, &mut |j| {
             queries += 1;

@@ -92,9 +92,7 @@ impl FrequencyTable {
 
     /// Total number of claims recorded for `segment` (the paper's `R_i`).
     pub fn received(&self, segment: SegmentId) -> usize {
-        self.counts
-            .get(&segment)
-            .map_or(0, |m| m.values().sum())
+        self.counts.get(&segment).map_or(0, |m| m.values().sum())
     }
 
     /// Number of distinct peers that have made at least one claim.

@@ -334,7 +334,10 @@ mod tests {
 
     #[test]
     fn plan_majority_faults_degrades_to_naive() {
-        assert_eq!(MultiCyclePlan::choose(1 << 16, 64, 32), MultiCyclePlan::Naive);
+        assert_eq!(
+            MultiCyclePlan::choose(1 << 16, 64, 32),
+            MultiCyclePlan::Naive
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl CollusionGroup {
         let len = self.seg.len_of(self.target);
         let seed = self.group_seed;
         BitArray::from_fn(len, |i| {
-            (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64)).is_multiple_of(3)
+            (seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64))
+            .is_multiple_of(3)
         })
     }
 }
@@ -236,7 +239,8 @@ mod tests {
             .seed(8)
             .protocol(move |_| TwoCycleDownload::new(n, k, b));
         for i in 0..b {
-            builder = builder.byzantine(PeerId(i), HalfBroadcast::new(seg, SegmentId(i % 4), k / 2));
+            builder =
+                builder.byzantine(PeerId(i), HalfBroadcast::new(seg, SegmentId(i % 4), k / 2));
         }
         let sim = builder.build();
         let input = sim.input().clone();

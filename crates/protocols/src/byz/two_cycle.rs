@@ -186,7 +186,10 @@ impl TwoCycleDownload {
         for id in seg.ids() {
             let range = seg.range(id);
             if Some(id) == self.my_pick {
-                acc.learn_slice(range.start, self.my_bits.as_ref().expect("queried own pick"));
+                acc.learn_slice(
+                    range.start,
+                    self.my_bits.as_ref().expect("queried own pick"),
+                );
                 continue;
             }
             let frequent = self.table.frequent(id, tau);

@@ -296,10 +296,7 @@ impl CrashMultiDownload {
             // (b = k − 1 leaves no one to rely on), few bits left, or the
             // phase cap. The Lemma 2.11 bound n/(k(1−β)) + n/k covers the
             // direct cost in each.
-            if unknown <= self.threshold
-                || self.phase >= self.max_phases
-                || self.b + 1 == self.k
-            {
+            if unknown <= self.threshold || self.phase >= self.max_phases || self.b + 1 == self.k {
                 self.terminate(ctx);
                 return;
             }
@@ -496,7 +493,12 @@ impl Protocol for CrashMultiDownload {
         self.pump(ctx);
     }
 
-    fn on_message(&mut self, from: PeerId, msg: MultiCrashMsg, ctx: &mut dyn Context<MultiCrashMsg>) {
+    fn on_message(
+        &mut self,
+        from: PeerId,
+        msg: MultiCrashMsg,
+        ctx: &mut dyn Context<MultiCrashMsg>,
+    ) {
         if self.out.is_some() {
             return;
         }

@@ -297,7 +297,10 @@ impl SingleCrashDownload {
         }
         // All answers were "me neither": query our reassigned share of the
         // missing peer's bits and push it.
-        let m = self.missing.expect("missing peer set before phase 2").index();
+        let m = self
+            .missing
+            .expect("missing peer set before phase 2")
+            .index();
         let mine = self.phase2_share(m, ctx.me().index());
         for &j in &mine {
             if !self.acc.is_known(j) {
@@ -331,7 +334,12 @@ impl Protocol for SingleCrashDownload {
         self.try_advance_from_wait_shares(ctx);
     }
 
-    fn on_message(&mut self, from: PeerId, msg: SingleCrashMsg, ctx: &mut dyn Context<SingleCrashMsg>) {
+    fn on_message(
+        &mut self,
+        from: PeerId,
+        msg: SingleCrashMsg,
+        ctx: &mut dyn Context<SingleCrashMsg>,
+    ) {
         if self.step == Step::Done {
             return;
         }
@@ -408,7 +416,9 @@ impl Protocol for SingleCrashDownload {
 mod tests {
     use super::*;
     use dr_core::{FaultModel, ModelParams};
-    use dr_sim::{CrashDirective, CrashPlan, CrashTrigger, SimBuilder, StandardAdversary, UniformDelay};
+    use dr_sim::{
+        CrashDirective, CrashPlan, CrashTrigger, SimBuilder, StandardAdversary, UniformDelay,
+    };
 
     fn params(n: usize, k: usize) -> ModelParams {
         ModelParams::builder(n, k)
@@ -417,7 +427,12 @@ mod tests {
             .unwrap()
     }
 
-    fn run_with_plan(seed: u64, n: usize, k: usize, plan: CrashPlan) -> (dr_sim::RunReport, BitArray) {
+    fn run_with_plan(
+        seed: u64,
+        n: usize,
+        k: usize,
+        plan: CrashPlan,
+    ) -> (dr_sim::RunReport, BitArray) {
         let sim = SimBuilder::new(params(n, k))
             .seed(seed)
             .protocol(move |_| SingleCrashDownload::new(n, k))

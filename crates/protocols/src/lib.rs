@@ -29,7 +29,6 @@ pub use byz::{
 };
 pub use crash::{owner, CrashMultiDownload, MultiCrashMsg, SingleCrashDownload, SingleCrashMsg};
 pub use lower_bound::{
-    deterministic_attack, randomized_attack, AttackOutcome, FakeSourceAgent,
-    RandomizedAttackStats,
+    deterministic_attack, randomized_attack, AttackOutcome, FakeSourceAgent, RandomizedAttackStats,
 };
 pub use naive::{NaiveDownload, NoMessage};

@@ -56,7 +56,7 @@ pub fn deterministic_attack<P, F>(
 ) -> AttackOutcome
 where
     P: Protocol + 'static,
-    F: FnMut(PeerId) -> P + Clone + 'static,
+    F: FnMut(PeerId) -> P + Clone + Send + 'static,
 {
     let zeros = BitArray::zeros(n);
 
@@ -165,7 +165,7 @@ pub fn randomized_attack<P, F>(
 ) -> RandomizedAttackStats
 where
     P: Protocol + 'static,
-    F: FnMut(PeerId) -> P + Clone + 'static,
+    F: FnMut(PeerId) -> P + Clone + Send + 'static,
 {
     let zeros = BitArray::zeros(n);
 
@@ -249,12 +249,9 @@ mod tests {
 
     #[test]
     fn balanced_download_is_broken_by_majority_byzantine() {
-        let outcome =
-            deterministic_attack(64, 4, PeerId(0), |_| BalancedDownload::new(64, 4), 2);
+        let outcome = deterministic_attack(64, 4, PeerId(0), |_| BalancedDownload::new(64, 4), 2);
         match outcome {
-            AttackOutcome::Violated {
-                queries, ..
-            } => assert!(queries < 64),
+            AttackOutcome::Violated { queries, .. } => assert!(queries < 64),
             other => panic!("expected violation, got {other:?}"),
         }
     }

@@ -99,10 +99,7 @@ mod tests {
         let sim = SimBuilder::new(params)
             .seed(1)
             .protocol(|_| NaiveDownload::new())
-            .byzantine(
-                PeerId(1),
-                FakeSourceAgent::new(NaiveDownload::new(), fake),
-            )
+            .byzantine(PeerId(1), FakeSourceAgent::new(NaiveDownload::new(), fake))
             .build();
         let input = sim.input().clone();
         let report = sim.run().unwrap();

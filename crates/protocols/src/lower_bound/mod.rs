@@ -25,7 +25,5 @@
 mod attack;
 mod fake_source;
 
-pub use attack::{
-    deterministic_attack, randomized_attack, AttackOutcome, RandomizedAttackStats,
-};
+pub use attack::{deterministic_attack, randomized_attack, AttackOutcome, RandomizedAttackStats};
 pub use fake_source::FakeSourceAgent;

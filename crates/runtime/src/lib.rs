@@ -201,7 +201,7 @@ where
         crashed.len() <= config.params.b(),
         "more crashes than the fault budget"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517e_ed);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0051_7eed);
     let input = BitArray::random(n, &mut rng);
     let source = SharedSource::new(ArraySource::new(input.clone()), k);
 
@@ -316,8 +316,7 @@ mod tests {
     #[test]
     fn crash_multi_under_threads() {
         let config = RuntimeConfig::new(params(256, 6, 2), 2);
-        let report =
-            run_threaded(config, move |_| CrashMultiDownload::new(256, 6, 2)).unwrap();
+        let report = run_threaded(config, move |_| CrashMultiDownload::new(256, 6, 2)).unwrap();
         report.verify(&[]).unwrap();
     }
 
@@ -332,8 +331,7 @@ mod tests {
                 peer: PeerId(3),
                 after_events: 2,
             });
-        let report =
-            run_threaded(config, move |_| CrashMultiDownload::new(200, 5, 2)).unwrap();
+        let report = run_threaded(config, move |_| CrashMultiDownload::new(200, 5, 2)).unwrap();
         report.verify(&[PeerId(0), PeerId(3)]).unwrap();
     }
 
@@ -343,8 +341,7 @@ mod tests {
             peer: PeerId(2),
             after_events: 1,
         });
-        let report =
-            run_threaded(config, move |_| SingleCrashDownload::new(120, 4)).unwrap();
+        let report = run_threaded(config, move |_| SingleCrashDownload::new(120, 4)).unwrap();
         report.verify(&[PeerId(2)]).unwrap();
     }
 
@@ -357,8 +354,7 @@ mod tests {
                 after_events: seed % 3,
             });
             let crashed = vec![PeerId((seed % 4) as usize)];
-            let report =
-                run_threaded(config, move |_| CrashMultiDownload::new(100, 4, 1)).unwrap();
+            let report = run_threaded(config, move |_| CrashMultiDownload::new(100, 4, 1)).unwrap();
             report.verify(&crashed).unwrap();
         }
     }

@@ -74,7 +74,12 @@ pub trait Adversary<M: ProtocolMessage>: Send {
     /// first `p` messages of the batch leave, modelling the paper's "crash
     /// after the peer has already sent some, but perhaps not all, of the
     /// messages".
-    fn crash_during_send(&mut self, view: &View<'_>, peer: PeerId, planned: usize) -> Option<usize> {
+    fn crash_during_send(
+        &mut self,
+        view: &View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
         let (_, _, _) = (view, peer, planned);
         None
     }
@@ -95,14 +100,8 @@ pub struct HeldInfo {
 pub trait DelayStrategy<M>: Send {
     /// Latency in ticks for this message; the simulator clamps the result
     /// to `1..=TICKS_PER_UNIT`.
-    fn latency(
-        &mut self,
-        from: PeerId,
-        to: PeerId,
-        msg: &M,
-        now: Ticks,
-        rng: &mut StdRng,
-    ) -> Ticks;
+    fn latency(&mut self, from: PeerId, to: PeerId, msg: &M, now: Ticks, rng: &mut StdRng)
+        -> Ticks;
 }
 
 /// Uniformly random latency in `1..=TICKS_PER_UNIT` — the "anything goes"
@@ -157,7 +156,14 @@ impl TargetedSlowdown {
 }
 
 impl<M> DelayStrategy<M> for TargetedSlowdown {
-    fn latency(&mut self, from: PeerId, to: PeerId, _m: &M, _now: Ticks, _rng: &mut StdRng) -> Ticks {
+    fn latency(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        _m: &M,
+        _now: Ticks,
+        _rng: &mut StdRng,
+    ) -> Ticks {
         if self.is_slow(from) || self.is_slow(to) {
             TICKS_PER_UNIT
         } else {
@@ -303,7 +309,12 @@ impl<M: ProtocolMessage> Adversary<M> for StandardAdversary<M> {
         self.crash_plan.find_before(peer, event)
     }
 
-    fn crash_during_send(&mut self, view: &View<'_>, peer: PeerId, planned: usize) -> Option<usize> {
+    fn crash_during_send(
+        &mut self,
+        view: &View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
         // events_processed has already been incremented for the event whose
         // batch is being sent, so the current event index is the count - 1.
         let event = view.status(peer).events_processed.saturating_sub(1);
@@ -344,7 +355,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut d = UniformDelay::new();
         for _ in 0..100 {
-            let t = DelayStrategy::<Unit>::latency(&mut d, PeerId(0), PeerId(1), &Unit, 0, &mut rng);
+            let t =
+                DelayStrategy::<Unit>::latency(&mut d, PeerId(0), PeerId(1), &Unit, 0, &mut rng);
             assert!((1..=TICKS_PER_UNIT).contains(&t));
         }
     }

@@ -8,6 +8,10 @@ use dr_core::{ArraySource, BitArray, ModelParams, PeerId, ProtocolMessage, Share
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Factory producing each peer's agent; `Send` so a built
+/// [`Simulation`] can move to a worker thread.
+type AgentFactory<M> = Box<dyn FnMut(PeerId) -> Box<dyn Agent<M>> + Send>;
+
 /// Builder for a [`Simulation`].
 ///
 /// # Examples
@@ -50,7 +54,7 @@ pub struct SimBuilder<M: ProtocolMessage> {
     input: Option<BitArray>,
     custom_source: Option<Box<dyn Source>>,
     adversary: Option<Box<dyn Adversary<M>>>,
-    factory: Option<Box<dyn FnMut(PeerId) -> Box<dyn Agent<M>>>>,
+    factory: Option<AgentFactory<M>>,
     byzantine: Vec<(PeerId, Box<dyn Agent<M>>)>,
     max_events: u64,
     index_tracking: bool,
@@ -115,7 +119,7 @@ impl<M: ProtocolMessage> SimBuilder<M> {
     pub fn protocol<P, F>(mut self, mut f: F) -> Self
     where
         P: crate::agent::Agent<M> + 'static,
-        F: FnMut(PeerId) -> P + 'static,
+        F: FnMut(PeerId) -> P + Send + 'static,
     {
         self.factory = Some(Box::new(move |id| Box::new(f(id))));
         self
@@ -221,4 +225,16 @@ impl<M: ProtocolMessage> SimBuilder<M> {
         }
         sim
     }
+}
+
+// The bench harness fans trials across worker threads, constructing and
+// running simulations off the main thread. Every trait object a builder
+// or simulation holds has a `Send` supertrait (Agent, Adversary,
+// DelayStrategy, Source) and the factory box is `+ Send`, so both types
+// are `Send` for every message type — checked at compile time here.
+#[allow(dead_code)]
+fn assert_builder_and_simulation_are_send<M: ProtocolMessage>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<SimBuilder<M>>();
+    assert_send::<Simulation<M>>();
 }

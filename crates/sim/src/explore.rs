@@ -257,11 +257,11 @@ where
         if pending.is_empty() {
             // Schedule complete: verify.
             self.schedules += 1;
-            for p in 0..k {
+            for (p, agent) in agents.iter().enumerate().take(k) {
                 if !alive(PeerId(p)) {
                     continue;
                 }
-                match agents[p].output() {
+                match agent.output() {
                     None => {
                         self.counterexample.get_or_insert(Counterexample {
                             choices: prefix.to_vec(),

@@ -155,7 +155,11 @@ impl RunReport {
         if n == 0 {
             return 0.0;
         }
-        let total: u64 = self.nonfaulty.iter().map(|p| self.query_counts[p.index()]).sum();
+        let total: u64 = self
+            .nonfaulty
+            .iter()
+            .map(|p| self.query_counts[p.index()])
+            .sum();
         total as f64 / n as f64
     }
 

@@ -21,7 +21,9 @@ use crate::report::{RunError, RunReport};
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::trace::TraceEntry;
 use crate::view::{PeerRole, PeerStatus, View};
-use dr_core::{BitArray, Context, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource, SourceHandle};
+use dr_core::{
+    BitArray, Context, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource, SourceHandle,
+};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::cmp::Ordering;
@@ -110,6 +112,9 @@ pub struct Simulation<M: ProtocolMessage> {
     handles: Vec<SourceHandle>,
     queue: BinaryHeap<QueuedEvent<M>>,
     held: Vec<HeldMessage<M>>,
+    /// Messages that arrived at a peer before its start event, waiting
+    /// for it to begin (a peer cannot take a step before it starts).
+    pre_start: Vec<Vec<(PeerId, M)>>,
     seq: u64,
     now: Ticks,
     crash_budget: usize,
@@ -121,6 +126,8 @@ pub struct Simulation<M: ProtocolMessage> {
 }
 
 impl<M: ProtocolMessage> Simulation<M> {
+    // Crate-internal constructor fed piecewise by SimBuilder.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         params: ModelParams,
         input: BitArray,
@@ -155,6 +162,7 @@ impl<M: ProtocolMessage> Simulation<M> {
             handles,
             queue: BinaryHeap::new(),
             held: Vec::new(),
+            pre_start: (0..k).map(|_| Vec::new()).collect(),
             seq: 0,
             now: 0,
             crash_budget: params.b() - byz,
@@ -229,7 +237,10 @@ impl<M: ProtocolMessage> Simulation<M> {
                 self.crash(peer);
             }
         }
-        let sender_nonfaulty_now = self.status[peer.index()].role == PeerRole::Honest;
+        // A peer crashed mid-send (by the cut just above) is faulty from
+        // this point on: the messages it still manages to emit must not
+        // count toward the non-faulty communication complexity.
+        let sender_nonfaulty_now = self.status[peer.index()].is_nonfaulty();
         for (to, msg) in outbox {
             let bits = msg.bit_len() as u64;
             let packets = (bits.div_ceil(self.params.msg_bits() as u64)).max(1);
@@ -250,11 +261,22 @@ impl<M: ProtocolMessage> Simulation<M> {
                     let latency = latency.clamp(1, TICKS_PER_UNIT);
                     let transmission = (packets - 1) * TICKS_PER_UNIT;
                     let at = self.now + latency + transmission;
-                    self.push_event(at, EventKind::Deliver { from: peer, to, msg });
+                    self.push_event(
+                        at,
+                        EventKind::Deliver {
+                            from: peer,
+                            to,
+                            msg,
+                        },
+                    );
                 }
                 Delivery::Hold => {
                     let now = self.now;
-                    self.record(TraceEntry::Hold { at: now, from: peer, to });
+                    self.record(TraceEntry::Hold {
+                        at: now,
+                        from: peer,
+                        to,
+                    });
                     self.held.push(HeldMessage {
                         from: peer,
                         to,
@@ -283,6 +305,21 @@ impl<M: ProtocolMessage> Simulation<M> {
             }
             return None;
         }
+        // A peer takes no steps before its start event: messages that
+        // arrive earlier wait in a per-peer buffer and are re-enqueued
+        // the moment the peer starts (equivalent to the adversary
+        // delaying them until the recipient is awake).
+        let kind = if st.started {
+            kind
+        } else {
+            match kind {
+                EventKind::Deliver { from, msg, .. } => {
+                    self.pre_start[to.index()].push((from, msg));
+                    return None;
+                }
+                start => start,
+            }
+        };
         // Crash faults fire only between steps: the adversary may fell the
         // peer immediately before it processes this event.
         if st.role == PeerRole::Honest && self.crash_budget > 0 {
@@ -310,6 +347,7 @@ impl<M: ProtocolMessage> Simulation<M> {
                 self.record(TraceEntry::Deliver { at, from, to, bits });
             }
         }
+        let is_start = matches!(kind, EventKind::Start(_));
         let mut outbox = Vec::new();
         {
             let agent = &mut self.agents[to.index()];
@@ -329,6 +367,15 @@ impl<M: ProtocolMessage> Simulation<M> {
                 EventKind::Deliver { from, msg, .. } => {
                     agent.on_message(from, msg, &mut ctx);
                 }
+            }
+        }
+        if is_start {
+            // Deliver anything that arrived before the peer woke up,
+            // immediately after its start step, in arrival order.
+            let waiting = std::mem::take(&mut self.pre_start[to.index()]);
+            for (from, msg) in waiting {
+                let now = self.now;
+                self.push_event(now, EventKind::Deliver { from, to, msg });
             }
         }
         let was_terminated = self.status[to.index()].terminated;
@@ -456,7 +503,12 @@ impl<M: ProtocolMessage> Simulation<M> {
         let query_counts = self.source.meter().counts();
         let query_indices = self.source.meter().indices(PeerId(0)).map(|_| {
             (0..k)
-                .map(|p| self.source.meter().indices(PeerId(p)).expect("tracking enabled"))
+                .map(|p| {
+                    self.source
+                        .meter()
+                        .indices(PeerId(p))
+                        .expect("tracking enabled")
+                })
                 .collect()
         });
         let max_nonfaulty_queries = self.source.meter().max_over(nonfaulty.iter());

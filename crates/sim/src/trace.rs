@@ -152,7 +152,9 @@ mod tests {
             },
         ];
         let text = render_trace(&trace);
-        for needle in ["START", "DELIVER", "DROP", "CRASH", "HOLD", "RELEASE", "DONE"] {
+        for needle in [
+            "START", "DELIVER", "DROP", "CRASH", "HOLD", "RELEASE", "DONE",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
         assert_eq!(trace[6].at(), 2048);

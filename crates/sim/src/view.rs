@@ -103,7 +103,10 @@ mod tests {
             PeerStatus::new(PeerRole::Honest),
         ];
         peers[2].crashed = true;
-        let view = View { now: 0, peers: &peers };
+        let view = View {
+            now: 0,
+            peers: &peers,
+        };
         let nf = view.nonfaulty();
         assert_eq!(nf.len(), 1);
         assert!(nf.contains(PeerId(0)));
@@ -116,7 +119,10 @@ mod tests {
             PeerStatus::new(PeerRole::Byzantine),
         ];
         peers[0].terminated = true;
-        let view = View { now: 5, peers: &peers };
+        let view = View {
+            now: 5,
+            peers: &peers,
+        };
         assert!(view.all_nonfaulty_terminated());
     }
 }

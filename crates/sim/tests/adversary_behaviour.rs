@@ -1,7 +1,9 @@
 //! Integration tests of the adversary interface: selective quiescence
 //! release, start scheduling, and fault accounting.
 
-use dr_core::{BitArray, Context, FaultModel, ModelParams, PartialArray, PeerId, Protocol, ProtocolMessage};
+use dr_core::{
+    BitArray, Context, FaultModel, ModelParams, PartialArray, PeerId, Protocol, ProtocolMessage,
+};
 use dr_sim::{Adversary, Delivery, HeldInfo, SilentAgent, SimBuilder, View, TICKS_PER_UNIT};
 use rand::rngs::StdRng;
 

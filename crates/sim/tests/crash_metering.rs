@@ -1,0 +1,80 @@
+//! Regression test for mid-send-crash message metering.
+//!
+//! The model meters communication complexity over *nonfaulty* peers
+//! only. A peer cut down by `CrashTrigger::DuringSend` is faulty from
+//! the moment of the crash, so the messages it still manages to emit
+//! must not count — even though the peer was honest when the batch was
+//! planned. An earlier version keyed the meter on the peer's static
+//! role and over-counted exactly those messages.
+
+use dr_core::{BitArray, Context, ModelParams, PeerId, Protocol, ProtocolMessage};
+use dr_sim::{
+    CrashDirective, CrashPlan, CrashTrigger, SimBuilder, StandardAdversary, UniformDelay,
+};
+
+#[derive(Debug, Clone)]
+struct Ping;
+
+impl ProtocolMessage for Ping {
+    fn bit_len(&self) -> usize {
+        8
+    }
+}
+
+/// Broadcasts one ping to every other peer at start, then terminates.
+struct Broadcast {
+    done: Option<BitArray>,
+}
+
+impl Protocol for Broadcast {
+    type Msg = Ping;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Ping>) {
+        let me = ctx.me();
+        for p in 0..ctx.num_peers() {
+            if p != me.index() {
+                ctx.send(PeerId(p), Ping);
+            }
+        }
+        let n = ctx.input_len();
+        self.done = Some(ctx.query_range(0..n));
+    }
+
+    fn on_message(&mut self, _from: PeerId, _msg: Ping, _ctx: &mut dyn Context<Ping>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        self.done.as_ref()
+    }
+}
+
+#[test]
+fn messages_of_a_peer_crashed_mid_send_are_not_metered() {
+    let k = 3usize;
+    let params = ModelParams::builder(8, k)
+        .faults(dr_core::FaultModel::Crash, 1)
+        .message_bits(1024)
+        .build()
+        .expect("valid params");
+    let mut plan = CrashPlan::none();
+    // Peer 0's start is its event 0; keep the full batch so both pings
+    // still leave the (now faulty) peer.
+    plan.push(CrashDirective {
+        peer: PeerId(0),
+        trigger: CrashTrigger::DuringSend { event: 0, keep: 2 },
+    });
+    let report = SimBuilder::new(params)
+        .seed(7)
+        .protocol(|_| Broadcast { done: None })
+        .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+        .build()
+        .run()
+        .expect("run completes");
+
+    assert!(
+        report.crashed.contains(PeerId(0)),
+        "peer 0 crashed mid-send"
+    );
+    // Only the two surviving peers' batches count: 2 peers × 2 pings.
+    assert_eq!(report.messages_sent, 4, "crashed sender's packets metered");
+    assert_eq!(report.message_bits, 4 * 8, "crashed sender's bits metered");
+}

@@ -39,7 +39,10 @@ fn trace_records_starts_deliveries_and_terminations() {
     let params = ModelParams::fault_free(8, 3).unwrap();
     let sim = SimBuilder::new(params)
         .seed(1)
-        .protocol(|_| PingOnce { out: None, acc: None })
+        .protocol(|_| PingOnce {
+            out: None,
+            acc: None,
+        })
         .trace()
         .build();
     let report = sim.run().unwrap();
@@ -79,7 +82,10 @@ fn trace_records_crash_and_drop() {
     // processed — and dropped — before anyone terminates.
     let sim = SimBuilder::new(params)
         .seed(2)
-        .protocol(|_| PingOnce { out: None, acc: None })
+        .protocol(|_| PingOnce {
+            out: None,
+            acc: None,
+        })
         .adversary(
             StandardAdversary::new(FixedDelay(100), CrashPlan::before_event([PeerId(1)], 0))
                 .simultaneous_start(),
@@ -101,7 +107,10 @@ fn trace_is_absent_when_not_requested() {
     let params = ModelParams::fault_free(8, 2).unwrap();
     let sim = SimBuilder::new(params)
         .seed(3)
-        .protocol(|_| PingOnce { out: None, acc: None })
+        .protocol(|_| PingOnce {
+            out: None,
+            acc: None,
+        })
         .build();
     let report = sim.run().unwrap();
     assert!(report.trace.is_none());

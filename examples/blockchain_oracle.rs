@@ -35,13 +35,19 @@ fn main() {
     let baseline = run_baseline(&config, config.sources());
     println!("baseline ODC (every node reads every source — Thm 4.1):");
     println!("  total source reads : {} bits", baseline.total_read_bits);
-    println!("  max per node       : {} bits", baseline.max_node_read_bits);
+    println!(
+        "  max per node       : {} bits",
+        baseline.max_node_read_bits
+    );
     println!("  ODD honest-range ok: {}\n", baseline.odd_satisfied());
 
     let download = run_download_based(&config, DownloadEngine::TwoCycle);
     println!("download-based ODC (one 2-cycle Download per source — Thm 4.2):");
     println!("  total source reads : {} bits", download.total_read_bits);
-    println!("  max per node       : {} bits", download.max_node_read_bits);
+    println!(
+        "  max per node       : {} bits",
+        download.max_node_read_bits
+    );
     println!("  ODD honest-range ok: {}", download.odd_satisfied());
     println!(
         "  saving             : {:.1}x total, {:.1}x per node",

@@ -19,7 +19,8 @@ fn main() {
     // The adversary crashes peers 0..8 just after their first step and
     // delays every message by an arbitrary fraction of the time unit.
     let victims: Vec<PeerId> = (0..b).map(PeerId).collect();
-    let adversary = StandardAdversary::new(UniformDelay::new(), CrashPlan::before_event(victims, 1));
+    let adversary =
+        StandardAdversary::new(UniformDelay::new(), CrashPlan::before_event(victims, 1));
 
     let sim = SimBuilder::new(params)
         .seed(2025)
@@ -33,8 +34,14 @@ fn main() {
         .verify_downloads(&input)
         .expect("every surviving peer downloads the exact input");
 
-    println!("Download complete under beta = {:.2} crash faults", b as f64 / k as f64);
-    println!("  peers               : {k} ({} crashed)", report.crashed.len());
+    println!(
+        "Download complete under beta = {:.2} crash faults",
+        b as f64 / k as f64
+    );
+    println!(
+        "  peers               : {k} ({} crashed)",
+        report.crashed.len()
+    );
     println!("  input bits          : {n}");
     println!("  naive cost would be : {n} queries per peer");
     println!(
@@ -46,5 +53,8 @@ fn main() {
         (n / k) * 2 + n / k
     );
     println!("  messages sent       : {}", report.messages_sent);
-    println!("  virtual time        : {:.1} units", report.virtual_time_units);
+    println!(
+        "  virtual time        : {:.1} units",
+        report.virtual_time_units
+    );
 }

@@ -197,7 +197,9 @@ fn malformed_traffic_cannot_corrupt_crash_multi() {
     );
     // The bogus Final still triggers termination-by-direct-query, which
     // must produce the *correct* output (queried, not trusted).
-    if let Some(bits) = p.output() { assert_eq!(bits, &ctx.input) }
+    if let Some(bits) = p.output() {
+        assert_eq!(bits, &ctx.input)
+    }
 }
 
 #[test]

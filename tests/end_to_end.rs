@@ -3,8 +3,8 @@
 
 use dr_download::core::{FaultModel, ModelParams, PeerId};
 use dr_download::protocols::{
-    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload,
-    SingleCrashDownload, TwoCycleDownload,
+    CommitteeDownload, CrashMultiDownload, MultiCycleDownload, NaiveDownload, SingleCrashDownload,
+    TwoCycleDownload,
 };
 use dr_download::sim::{
     CrashDirective, CrashPlan, CrashTrigger, FixedDelay, SilentAgent, SimBuilder,
@@ -179,5 +179,8 @@ fn message_size_one_bit_still_terminates() {
     let input = sim.input().clone();
     let report = sim.run().unwrap();
     report.verify_downloads(&input).unwrap();
-    assert!(report.virtual_time_units > 10.0, "tiny packets must cost time");
+    assert!(
+        report.virtual_time_units > 10.0,
+        "tiny packets must cost time"
+    );
 }

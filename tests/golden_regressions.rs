@@ -5,6 +5,10 @@
 //! exact-value diff. Intentional protocol changes should update these
 //! numbers consciously (and re-examine EXPERIMENTS.md); accidental ones
 //! get caught.
+//!
+//! The values are tied to the PRNG stream of the workspace `rand` crate
+//! (the vendored xoshiro256++ `StdRng`); swapping the generator requires
+//! re-recording them.
 
 use dr_bench::runners::{
     run_committee, run_crash_multi, run_multi_cycle, run_single_crash, run_two_cycle, ByzMix,
@@ -15,8 +19,12 @@ use dr_download::core::PeerId;
 fn golden_alg1() {
     let r = run_single_crash(1024, 8, 7, Some(PeerId(2)));
     assert_eq!(
-        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
-        (128, 160, 1704)
+        (
+            r.max_nonfaulty_queries,
+            r.messages_sent,
+            r.virtual_time_ticks
+        ),
+        (128, 164, 1576)
     );
 }
 
@@ -24,8 +32,12 @@ fn golden_alg1() {
 fn golden_alg2() {
     let r = run_crash_multi(2048, 16, 8, 8, 1024, false, 7);
     assert_eq!(
-        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
-        (347, 1717, 14757)
+        (
+            r.max_nonfaulty_queries,
+            r.messages_sent,
+            r.virtual_time_ticks
+        ),
+        (256, 813, 5056)
     );
 }
 
@@ -33,8 +45,12 @@ fn golden_alg2() {
 fn golden_committee() {
     let r = run_committee(512, 8, 2, 2, 7);
     assert_eq!(
-        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
-        (320, 42, 1812)
+        (
+            r.max_nonfaulty_queries,
+            r.messages_sent,
+            r.virtual_time_ticks
+        ),
+        (320, 42, 1509)
     );
 }
 
@@ -42,8 +58,12 @@ fn golden_committee() {
 fn golden_two_cycle() {
     let r = run_two_cycle(4096, 128, 16, ByzMix::Mixed, 7);
     assert_eq!(
-        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
-        (1366, 28448, 2673)
+        (
+            r.max_nonfaulty_queries,
+            r.messages_sent,
+            r.virtual_time_ticks
+        ),
+        (1366, 28448, 2651)
     );
 }
 
@@ -51,7 +71,11 @@ fn golden_two_cycle() {
 fn golden_multi_cycle() {
     let r = run_multi_cycle(4096, 128, 16, ByzMix::Silent, 7);
     assert_eq!(
-        (r.max_nonfaulty_queries, r.messages_sent, r.virtual_time_ticks),
-        (2048, 42672, 4072)
+        (
+            r.max_nonfaulty_queries,
+            r.messages_sent,
+            r.virtual_time_ticks
+        ),
+        (2048, 42672, 4085)
     );
 }

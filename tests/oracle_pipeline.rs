@@ -111,15 +111,8 @@ fn equivocating_sources_are_absorbed_by_full_sampling() {
     // report — and the published value — inside the honest range.
     use dr_download::oracle::{run_baseline_on, SourceFleet};
     let cfg = config(21);
-    let fleet = SourceFleet::generate(
-        5,
-        0,
-        cfg.cells,
-        cfg.truth_base,
-        cfg.spread,
-        cfg.seed,
-    )
-    .with_equivocators(2, 0xfeed);
+    let fleet = SourceFleet::generate(5, 0, cfg.cells, cfg.truth_base, cfg.spread, cfg.seed)
+        .with_equivocators(2, 0xfeed);
     let out = run_baseline_on(&fleet, &cfg, fleet.len());
     assert!(out.odd_satisfied(), "{out:?}");
 }

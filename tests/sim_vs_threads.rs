@@ -17,7 +17,8 @@ fn crash_params(n: usize, k: usize, b: usize) -> ModelParams {
 #[test]
 fn crash_multi_query_bound_holds_in_both_backends() {
     let (n, k, b) = (512usize, 8usize, 3usize);
-    let bound = ((n / k) as f64 * (1.0 / (1.0 - b as f64 / k as f64)) + (n / k) as f64 + 16.0) as u64;
+    let bound =
+        ((n / k) as f64 * (1.0 / (1.0 - b as f64 / k as f64)) + (n / k) as f64 + 16.0) as u64;
 
     // Simulator.
     let sim = SimBuilder::new(crash_params(n, k, b))

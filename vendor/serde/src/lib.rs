@@ -1,0 +1,642 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! small self-contained serialization framework under the `serde` name.
+//! It is value-model based rather than visitor based: types convert to and
+//! from a JSON-like [`Value`], and the [`json`] module renders/parses
+//! JSON text. The `#[derive(Serialize, Deserialize)]` macros (from the
+//! sibling `serde_derive` crate, enabled via the `derive` feature) cover
+//! plain structs with named fields, newtype/tuple structs, and enums with
+//! unit variants — everything this workspace derives.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-like data value. Integer values keep full 64-bit fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a data value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data value.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        "expected integer, found {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        "expected integer, found {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::msg(format!(
+                "expected number, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Extracts and deserializes one field of a [`Value::Map`]. Used by the
+/// generated `Deserialize` impls.
+///
+/// # Errors
+///
+/// Fails when the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value {
+        Value::Map(_) => {
+            let v = value
+                .get(name)
+                .ok_or_else(|| Error::msg(format!("missing field '{name}'")))?;
+            T::from_value(v).map_err(|e| Error::msg(format!("field '{name}': {}", e.0)))
+        }
+        other => Err(Error::msg(format!(
+            "expected object, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Extracts element `index` of a [`Value::Seq`]. Used by the generated
+/// `Deserialize` impls for tuple structs.
+///
+/// # Errors
+///
+/// Fails when the element is missing or has the wrong shape.
+pub fn element<T: Deserialize>(value: &Value, index: usize) -> Result<T, Error> {
+    match value {
+        Value::Seq(items) => {
+            let v = items
+                .get(index)
+                .ok_or_else(|| Error::msg(format!("missing element {index}")))?;
+            T::from_value(v)
+        }
+        other => Err(Error::msg(format!(
+            "expected array, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+pub mod json {
+    //! JSON rendering and parsing over [`Value`](super::Value).
+
+    use super::{Deserialize, Error, Serialize, Value};
+
+    /// Renders a value as compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        write_value(&v.to_value(), &mut out, None, 0);
+        out
+    }
+
+    /// Renders a value as indented JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        write_value(&v.to_value(), &mut out, Some(2), 0);
+        out
+    }
+
+    /// Parses JSON text into a `T`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a shape mismatch.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Parses JSON text into a raw [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or trailing input.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::msg(format!("trailing input at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // Keep floats distinguishable from integers in JSON.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_string(s, out),
+            Value::Seq(items) => {
+                write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i, d| {
+                    write_value(&items[i], out, indent, d);
+                });
+            }
+            Value::Map(entries) => {
+                write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i, d| {
+                    let (k, val) = &entries[i];
+                    write_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(val, out, indent, d);
+                });
+            }
+        }
+    }
+
+    fn write_bracketed(
+        out: &mut String,
+        open: char,
+        close: char,
+        len: usize,
+        indent: Option<usize>,
+        depth: usize,
+        mut item: impl FnMut(&mut String, usize, usize),
+    ) {
+        out.push(open);
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * (depth + 1)));
+            }
+            item(out, i, depth + 1);
+        }
+        if len > 0 {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * depth));
+            }
+        }
+        out.push(close);
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+        if bytes[*pos..].starts_with(token.as_bytes()) {
+            *pos += token.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected '{token}' at byte {}", *pos)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::msg("unexpected end of input")),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) == Some(&b']') {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    if !items.is_empty() {
+                        expect(bytes, pos, ",")?;
+                    }
+                    items.push(parse_value(bytes, pos)?);
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                loop {
+                    skip_ws(bytes, pos);
+                    if bytes.get(*pos) == Some(&b'}') {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    if !entries.is_empty() {
+                        expect(bytes, pos, ",")?;
+                        skip_ws(bytes, pos);
+                    }
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, ":")?;
+                    let value = parse_value(bytes, pos)?;
+                    entries.push((key, value));
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        expect(bytes, pos, "\"")?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::msg("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::msg(format!("expected value at byte {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json;
+    use super::Value;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(json::to_string(&-7i64), "-7");
+        assert_eq!(json::from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string(&String::from("a\"b")), "\"a\\\"b\"");
+        assert_eq!(json::from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let text = json::to_string(&v);
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(json::from_str::<Vec<u64>>(&text).unwrap(), v);
+        let opt: Option<u64> = None;
+        assert_eq!(json::to_string(&opt), "null");
+        assert_eq!(json::from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(json::from_str::<Option<u64>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn map_value_round_trips() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let text = json::to_string(&v);
+        assert_eq!(text, "{\"a\":1,\"b\":[true,null]}");
+        assert_eq!(json::parse(&text).unwrap(), v);
+        let pretty = json::to_string_pretty(&v);
+        assert!(pretty.contains("\n  \"a\": 1"));
+        assert_eq!(json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_fidelity_preserved() {
+        let big = u64::MAX;
+        let text = json::to_string(&big);
+        assert_eq!(json::from_str::<u64>(&text).unwrap(), big);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::from_str::<u64>("\"x\"").is_err());
+        assert!(super::field::<u64>(&Value::Map(vec![]), "missing").is_err());
+    }
+}
