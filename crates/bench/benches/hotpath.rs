@@ -1,0 +1,149 @@
+//! Hot-path benchmarks: the word-level bulk query/learn/merge fast paths
+//! against their per-bit reference implementations, plus one end-to-end
+//! `crash::multi` run dominated by these paths.
+//!
+//! The `*_per_bit` entries reproduce the pre-fast-path code (one metered,
+//! dynamically dispatched `Source::bit` call per bit; per-bit `learn`) so
+//! the speedup is directly visible in one Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_core::{
+    ArraySource, BitArray, FaultModel, ModelParams, PartialArray, PeerId, SharedSource,
+    SourceHandle,
+};
+use dr_protocols::CrashMultiDownload;
+use dr_sim::{CrashPlan, SimBuilder, StandardAdversary, UniformDelay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The pre-fast-path `query_range`: one metered single-bit query per index.
+fn query_range_per_bit(handle: &SourceHandle, range: std::ops::Range<usize>) -> BitArray {
+    BitArray::from_fn(range.len(), |i| handle.query(range.start + i))
+}
+
+fn bench_query_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_range");
+    for &n in &[4096usize, 65536] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let source = SharedSource::new(ArraySource::new(BitArray::random(n, &mut rng)), 1);
+        let handle = source.handle(PeerId(0));
+        group.bench_with_input(BenchmarkId::new("bulk", n), &n, |b, &n| {
+            b.iter(|| handle.query_range(0..n));
+        });
+        group.bench_with_input(BenchmarkId::new("per_bit", n), &n, |b, &n| {
+            b.iter(|| query_range_per_bit(&handle, 0..n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_learn_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_slice");
+    for &n in &[4096usize, 65536] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bits = BitArray::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("bulk", n), &bits, |b, bits| {
+            b.iter(|| {
+                let mut p = PartialArray::new(bits.len() + 7);
+                p.learn_slice(3, bits);
+                p.unknown_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("per_bit", n), &bits, |b, bits| {
+            b.iter(|| {
+                let mut p = PartialArray::new(bits.len() + 7);
+                for i in 0..bits.len() {
+                    p.learn(3 + i, bits.get(i));
+                }
+                p.unknown_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for &n in &[4096usize, 65536] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values = BitArray::random(n, &mut rng);
+        // Two half-known partials with interleaved coverage.
+        let mut a = PartialArray::new(n);
+        let mut b = PartialArray::new(n);
+        for i in 0..n {
+            if i % 2 == 0 {
+                a.learn(i, values.get(i));
+            } else {
+                b.learn(i, values.get(i));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("bulk", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| {
+                let mut m = a.clone();
+                m.merge(b);
+                m.unknown_count()
+            });
+        });
+        let (a2, b2) = {
+            let mut a2 = PartialArray::new(n);
+            let mut b2 = PartialArray::new(n);
+            for i in 0..n {
+                if i % 2 == 0 {
+                    a2.learn(i, values.get(i));
+                } else {
+                    b2.learn(i, values.get(i));
+                }
+            }
+            (a2, b2)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("per_bit", n),
+            &(a2, b2),
+            |bench, (a, b)| {
+                bench.iter(|| {
+                    let mut m = a.clone();
+                    for i in 0..b.len() {
+                        if let Some(v) = b.get(i) {
+                            m.learn(i, v);
+                        }
+                    }
+                    m.unknown_count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crash_multi_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crash_multi_e2e");
+    group.sample_size(10);
+    let (n, k, b) = (16384usize, 8usize, 3usize);
+    let params = ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap();
+    group.bench_function("run_16384", |bench| {
+        bench.iter(|| {
+            let sim = SimBuilder::new(params)
+                .seed(5)
+                .protocol(move |_| CrashMultiDownload::new(n, k, b))
+                .adversary(StandardAdversary::new(
+                    UniformDelay::new(),
+                    CrashPlan::before_event((0..b).map(PeerId), 1),
+                ))
+                .build();
+            sim.run().unwrap().max_nonfaulty_queries
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_range,
+    bench_learn_slice,
+    bench_merge,
+    bench_crash_multi_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates the 'hotpath' performance-tracking tables (see DESIGN.md E-index).
+
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
+fn main() {
+    let opts = BinOptions::parse("fig_hotpath");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::hotpath::run_metered(&mut sink) {
+        print!("{table}");
+    }
+    opts.finish(&sink);
+}

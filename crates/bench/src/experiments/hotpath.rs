@@ -1,0 +1,184 @@
+//! E-hot — hot-path performance tracking.
+//!
+//! Times the word-level bulk fast paths (`SourceHandle::query_range`,
+//! `PartialArray::learn_slice`, `PartialArray::merge`) against their
+//! per-bit reference loops, plus end-to-end `crash::multi` rows, and
+//! records everything through the metrics sink as `BENCH_hotpath.json`
+//! so the performance trajectory is tracked from PR 2 onward.
+//!
+//! Timing lives exclusively in each record's `wall_clock_secs` (for
+//! micro rows: the whole fixed-iteration loop, so ns/op is
+//! `wall_clock_secs * 1e9 / iters`); the Q/T/M statistics stay
+//! deterministic, keeping the harness invariant that `--json` output is
+//! bit-identical across runs and thread counts once `wall_clock_secs`
+//! is stripped.
+
+use crate::metrics::{
+    measure_par, trials, ExperimentParams, ExperimentRecord, Measured, MetricsSink,
+};
+use crate::runners::run_crash_multi;
+use crate::table::{f, Table};
+use dr_core::{ArraySource, BitArray, PartialArray, PeerId, SharedSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const EXPERIMENT: &str = "hotpath";
+
+/// Times `op` over `iters` iterations (after a short warmup); returns
+/// (nanoseconds per op, total seconds).
+fn time_op(mut op: impl FnMut(), iters: u32) -> (f64, f64) {
+    for _ in 0..1 + iters / 10 {
+        op();
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let elapsed = started.elapsed();
+    (
+        elapsed.as_nanos() as f64 / f64::from(iters),
+        elapsed.as_secs_f64(),
+    )
+}
+
+/// Runs the hot-path experiments, discarding metrics records.
+pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the hot-path experiments, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let mut micro = Table::new(
+        "E-hot-a — word-level fast paths vs per-bit reference",
+        &["op", "n", "ns/op bulk", "ns/op per-bit", "speedup"],
+    );
+    let iters = 64u32;
+    for &n in &[4096usize, 65536] {
+        let mut rng = StdRng::seed_from_u64(17);
+        let input = BitArray::random(n, &mut rng);
+        let shared = SharedSource::new(ArraySource::new(input.clone()), 1);
+        let handle = shared.handle(PeerId(0));
+
+        let mut record_pair = |op: &str,
+                               (bulk_ns, bulk_secs): (f64, f64),
+                               (ref_ns, ref_secs): (f64, f64)| {
+            micro.row(vec![
+                op.to_string(),
+                n.to_string(),
+                f(bulk_ns),
+                f(ref_ns),
+                f(ref_ns / bulk_ns),
+            ]);
+            for (variant, secs) in [("bulk", bulk_secs), ("per_bit", ref_secs)] {
+                sink.push(ExperimentRecord::new(
+                    EXPERIMENT,
+                    format!("micro {op} {variant} n={n} ({iters} iters timed in wall_clock_secs)"),
+                    ExperimentParams::nk(n, 1),
+                    Measured::queries_only(&[], secs),
+                ));
+            }
+        };
+
+        record_pair(
+            "query_range",
+            time_op(
+                || {
+                    std::hint::black_box(handle.query_range(0..n));
+                },
+                iters,
+            ),
+            time_op(
+                || {
+                    // The pre-fast-path implementation: one metered,
+                    // dynamically dispatched single-bit query per index.
+                    std::hint::black_box(BitArray::from_fn(n, |i| handle.query(i)));
+                },
+                iters,
+            ),
+        );
+
+        record_pair(
+            "learn_slice",
+            time_op(
+                || {
+                    let mut p = PartialArray::new(n + 7);
+                    p.learn_slice(3, &input);
+                    std::hint::black_box(p.unknown_count());
+                },
+                iters,
+            ),
+            time_op(
+                || {
+                    let mut p = PartialArray::new(n + 7);
+                    for i in 0..n {
+                        p.learn(3 + i, input.get(i));
+                    }
+                    std::hint::black_box(p.unknown_count());
+                },
+                iters,
+            ),
+        );
+
+        let mut left = PartialArray::new(n);
+        let mut right = PartialArray::new(n);
+        for i in 0..n {
+            if i % 2 == 0 {
+                left.learn(i, input.get(i));
+            } else {
+                right.learn(i, input.get(i));
+            }
+        }
+        record_pair(
+            "merge",
+            time_op(
+                || {
+                    let mut m = left.clone();
+                    m.merge(&right);
+                    std::hint::black_box(m.unknown_count());
+                },
+                iters,
+            ),
+            time_op(
+                || {
+                    let mut m = left.clone();
+                    for i in 0..n {
+                        if let Some(v) = right.get(i) {
+                            m.learn(i, v);
+                        }
+                    }
+                    std::hint::black_box(m.unknown_count());
+                },
+                iters,
+            ),
+        );
+    }
+
+    let trials = trials();
+    let mut e2e = Table::new(
+        "E-hot-b — end-to-end crash::multi wall clock (all b crash)",
+        &["n", "k", "b", "Q mean", "T mean", "M mean", "wall secs"],
+    );
+    for &(n, k, b) in &[(16384usize, 8usize, 3usize), (65536, 32, 8)] {
+        let m = measure_par(trials, 23, move |seed| {
+            run_crash_multi(n, k, b, b, 1024, false, seed)
+        });
+        e2e.row(vec![
+            n.to_string(),
+            k.to_string(),
+            b.to_string(),
+            f(m.queries.mean),
+            f(m.time_units.mean),
+            f(m.messages.mean),
+            f(m.wall_clock_secs),
+        ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!("E2E crash_multi n={n} k={k} b={b}"),
+            ExperimentParams::nkb(n, k, b).with_a(1024),
+            m,
+        ));
+    }
+
+    vec![micro, e2e]
+}

@@ -4,6 +4,7 @@ pub mod byz_committee;
 pub mod crash_scaling;
 pub mod crash_single;
 pub mod exhaustive;
+pub mod hotpath;
 pub mod lower_bound;
 pub mod msg_size;
 pub mod multi_cycle;
@@ -38,5 +39,6 @@ pub fn run_all_metered(sink: &mut MetricsSink) -> Vec<Table> {
     tables.extend(strategy_ablation::run_metered(sink));
     tables.extend(synchrony::run_metered(sink));
     tables.extend(exhaustive::run_metered(sink));
+    tables.extend(hotpath::run_metered(sink));
     tables
 }

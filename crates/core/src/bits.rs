@@ -12,6 +12,30 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
+/// All-ones mask covering the low `n` bits (`n <= 64`).
+#[inline]
+fn low_mask(n: usize) -> u64 {
+    debug_assert!(n <= 64);
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Reads 64 bits of `words` starting at bit position `pos`, little-endian
+/// within each word. Bits past the end of `words` read as zero.
+#[inline]
+fn read_word(words: &[u64], pos: usize) -> u64 {
+    let (w, s) = (pos / 64, pos % 64);
+    let lo = words.get(w).copied().unwrap_or(0) >> s;
+    if s == 0 {
+        lo
+    } else {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - s))
+    }
+}
+
 /// A fixed-length packed array of bits.
 ///
 /// Unused high bits of the last word are kept zeroed so that `Eq` and `Hash`
@@ -53,10 +77,16 @@ impl BitArray {
     /// ```
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
         let mut out = BitArray::zeros(len);
-        for i in 0..len {
-            if f(i) {
-                out.set(i, true);
+        for (w, word) in out.words.iter_mut().enumerate() {
+            let base = w * 64;
+            let top = 64.min(len - base);
+            let mut v = 0u64;
+            for b in 0..top {
+                if f(base + b) {
+                    v |= 1 << b;
+                }
             }
+            *word = v;
         }
         out
     }
@@ -114,6 +144,25 @@ impl BitArray {
         }
     }
 
+    /// Number of 64-bit words in the packed representation.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the `w`-th 64-bit word of the packed representation.
+    ///
+    /// Bit `i` of the array is bit `i % 64` of word `i / 64`. Unused high
+    /// bits of the last word are always zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= word_count()`.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
     /// Flips bit `i` and returns its new value.
     ///
     /// # Panics
@@ -132,6 +181,9 @@ impl BitArray {
 
     /// Extracts the bits of `range` as a new array.
     ///
+    /// Runs in `O(range.len() / 64)` word operations, shifting across word
+    /// boundaries as needed.
+    ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
@@ -141,7 +193,46 @@ impl BitArray {
             "slice {range:?} out of range {}",
             self.len
         );
-        BitArray::from_fn(range.len(), |i| self.get(range.start + i))
+        let mut out = BitArray::zeros(range.len());
+        for (w, word) in out.words.iter_mut().enumerate() {
+            *word = read_word(&self.words, range.start + w * 64);
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Copies `src[src_range]` into `self` starting at bit `dst_offset`,
+    /// overwriting whatever was there. Word-level: each loop iteration
+    /// transfers up to 64 bits with shift/mask operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_range` is out of bounds for `src` or the copy would
+    /// run past the end of `self`.
+    pub fn copy_range(&mut self, dst_offset: usize, src: &BitArray, src_range: Range<usize>) {
+        assert!(
+            src_range.end <= src.len,
+            "copy_range source {src_range:?} out of range {}",
+            src.len
+        );
+        let len = src_range.len();
+        assert!(
+            dst_offset + len <= self.len,
+            "copy_range destination {dst_offset}..{} out of range {}",
+            dst_offset + len,
+            self.len
+        );
+        let mut done = 0;
+        while done < len {
+            let pos = dst_offset + done;
+            let (w, bit) = (pos / 64, pos % 64);
+            // Fill the destination word from `bit` upward (at most 64 - bit
+            // bits), so every subsequent iteration is destination-aligned.
+            let take = (64 - bit).min(len - done);
+            let chunk = read_word(&src.words, src_range.start + done) & low_mask(take);
+            self.words[w] = (self.words[w] & !(low_mask(take) << bit)) | (chunk << bit);
+            done += take;
+        }
     }
 
     /// Writes `bits` into `self` starting at `offset`.
@@ -150,9 +241,18 @@ impl BitArray {
     ///
     /// Panics if the write would run past the end.
     pub fn write_at(&mut self, offset: usize, bits: &BitArray) {
-        assert!(offset + bits.len() <= self.len, "write_at out of range");
-        for i in 0..bits.len() {
-            self.set(offset + i, bits.get(i));
+        self.copy_range(offset, bits, 0..bits.len());
+    }
+
+    /// Bitwise OR of `other` into `self`, one word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_assign(&mut self, other: &BitArray) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
         }
     }
 
@@ -219,6 +319,10 @@ impl FromIterator<bool> for BitArray {
 /// This is each peer's working copy of the input: queried or received bits
 /// are recorded with [`PartialArray::learn`], and the protocol may terminate
 /// once [`PartialArray::unknown_count`] reaches zero.
+///
+/// Representation invariant: `values` is zero wherever `known` is zero.
+/// Every mutator preserves this, which is what lets [`PartialArray::learn_slice`]
+/// and [`PartialArray::merge`] OR newly-learned bits in a word at a time.
 ///
 /// # Examples
 ///
@@ -298,36 +402,109 @@ impl PartialArray {
         }
     }
 
-    /// Records a contiguous run of bits starting at `offset`.
+    /// Records a contiguous run of bits starting at `offset`. Word-level:
+    /// bits already known keep their first value (an invariant of the
+    /// representation is that `values` is zero wherever `known` is zero,
+    /// so newly-learned bits can be OR-ed in without a read-modify-write
+    /// per bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run would extend past the end.
     pub fn learn_slice(&mut self, offset: usize, bits: &BitArray) {
-        for i in 0..bits.len() {
-            self.learn(offset + i, bits.get(i));
+        let len = bits.len();
+        assert!(
+            offset + len <= self.len(),
+            "learn_slice {offset}..{} out of range {}",
+            offset + len,
+            self.len()
+        );
+        let mut done = 0;
+        while done < len {
+            let pos = offset + done;
+            let (w, bit) = (pos / 64, pos % 64);
+            let take = (64 - bit).min(len - done);
+            let window = low_mask(take) << bit;
+            let fresh = window & !self.known.words[w];
+            if fresh != 0 {
+                let incoming = (read_word(&bits.words, done) & low_mask(take)) << bit;
+                self.values.words[w] |= incoming & fresh;
+                self.known.words[w] |= fresh;
+                self.unknown -= fresh.count_ones() as usize;
+            }
+            done += take;
         }
     }
 
-    /// Copies every known bit of `other` into `self`.
+    /// Copies every known bit of `other` into `self`, one word at a time.
+    /// Bits known in both keep `self`'s value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
     pub fn merge(&mut self, other: &PartialArray) {
         assert_eq!(self.len(), other.len(), "length mismatch");
-        for i in 0..other.len() {
-            if let Some(v) = other.get(i) {
-                self.learn(i, v);
+        for w in 0..self.known.words.len() {
+            let fresh = other.known.words[w] & !self.known.words[w];
+            if fresh != 0 {
+                self.values.words[w] |= other.values.words[w] & fresh;
+                self.known.words[w] |= fresh;
+                self.unknown -= fresh.count_ones() as usize;
             }
         }
     }
 
-    /// Iterates over indices of unknown bits, in order.
+    /// Iterates over indices of unknown bits, in order, skipping fully-known
+    /// words in one step.
     pub fn unknown_iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len()).filter(move |&i| !self.known.get(i))
+        let len = self.len();
+        let words = &self.known.words;
+        let mut w = 0usize;
+        let mut cur = words.first().map_or(0, |k| !k);
+        std::iter::from_fn(move || loop {
+            if w >= words.len() {
+                return None;
+            }
+            if cur != 0 {
+                let i = w * 64 + cur.trailing_zeros() as usize;
+                if i >= len {
+                    // Only the zero-padded tail of the last word remains.
+                    w = words.len();
+                    return None;
+                }
+                cur &= cur - 1;
+                return Some(i);
+            }
+            w += 1;
+            cur = words.get(w).map_or(0, |k| !k);
+        })
     }
 
     /// The known values restricted to `range`, or `None` if any bit in the
-    /// range is unknown.
+    /// range is unknown. The all-known check runs word-at-a-time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
     pub fn known_slice(&self, range: Range<usize>) -> Option<BitArray> {
-        if range.clone().all(|i| self.known.get(i)) {
-            Some(self.values.slice(range))
-        } else {
-            None
+        assert!(
+            range.end <= self.len(),
+            "known_slice {range:?} out of range {}",
+            self.len()
+        );
+        let len = range.len();
+        let mut done = 0;
+        while done < len {
+            let pos = range.start + done;
+            let (w, bit) = (pos / 64, pos % 64);
+            let take = (64 - bit).min(len - done);
+            let window = low_mask(take) << bit;
+            if self.known.words[w] & window != window {
+                return None;
+            }
+            done += take;
         }
+        Some(self.values.slice(range))
     }
 
     /// Converts into the completed array.
@@ -475,5 +652,137 @@ mod tests {
     fn get_out_of_range_panics() {
         let x = BitArray::zeros(3);
         x.get(3);
+    }
+
+    #[test]
+    fn copy_range_matches_per_bit_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let src = BitArray::random(300, &mut rng);
+        for &(dst_off, start, end) in &[
+            (0, 0, 300),
+            (5, 63, 191),
+            (64, 1, 2),
+            (17, 100, 100),
+            (250, 0, 50),
+        ] {
+            let mut fast = BitArray::random(310, &mut rng);
+            let mut slow = fast.clone();
+            fast.copy_range(dst_off, &src, start..end);
+            for i in start..end {
+                slow.set(dst_off + (i - start), src.get(i));
+            }
+            assert_eq!(fast, slow, "copy_range({dst_off}, {start}..{end})");
+        }
+    }
+
+    #[test]
+    fn slice_straddles_word_boundaries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = BitArray::random(200, &mut rng);
+        for &(a, b) in &[(0, 0), (60, 70), (63, 64), (64, 128), (1, 200), (199, 200)] {
+            let s = x.slice(a..b);
+            assert_eq!(s.len(), b - a);
+            for i in a..b {
+                assert_eq!(s.get(i - a), x.get(i), "slice({a}..{b}) bit {i}");
+            }
+            // Last-word padding must stay zeroed for Eq/Hash.
+            assert_eq!(s, BitArray::from_fn(b - a, |i| x.get(a + i)));
+        }
+    }
+
+    #[test]
+    fn or_assign_sets_union() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = BitArray::random(130, &mut rng);
+        let b = BitArray::random(130, &mut rng);
+        let mut u = a.clone();
+        u.or_assign(&b);
+        for i in 0..130 {
+            assert_eq!(u.get(i), a.get(i) | b.get(i));
+        }
+    }
+
+    #[test]
+    fn word_accessor_exposes_packed_words() {
+        let mut x = BitArray::zeros(130);
+        x.set(0, true);
+        x.set(65, true);
+        x.set(129, true);
+        assert_eq!(x.word_count(), 3);
+        assert_eq!(x.word(0), 1);
+        assert_eq!(x.word(1), 2);
+        assert_eq!(x.word(2), 2);
+    }
+
+    #[test]
+    fn learn_slice_word_level_matches_per_bit() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 257;
+        for trial in 0..20 {
+            let mut fast = PartialArray::new(n);
+            let mut slow = PartialArray::new(n);
+            // Pre-learn a scattered pattern so overlaps are exercised.
+            for i in (trial..n).step_by(7) {
+                fast.learn(i, i % 3 == 0);
+                slow.learn(i, i % 3 == 0);
+            }
+            let off = trial * 9 % 64;
+            let bits = BitArray::random(n - off - trial, &mut rng);
+            fast.learn_slice(off, &bits);
+            for i in 0..bits.len() {
+                slow.learn(off + i, bits.get(i));
+            }
+            assert_eq!(fast, slow);
+            assert_eq!(fast.unknown_count(), slow.unknown_count());
+        }
+    }
+
+    #[test]
+    fn merge_word_level_matches_per_bit() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 190;
+        let mut a = PartialArray::new(n);
+        let mut b = PartialArray::new(n);
+        for i in 0..n {
+            if rng.gen_bool(0.5) {
+                a.learn(i, rng.gen_bool(0.5));
+            }
+            if rng.gen_bool(0.5) {
+                b.learn(i, rng.gen_bool(0.5));
+            }
+        }
+        let mut fast = a.clone();
+        fast.merge(&b);
+        let mut slow = a.clone();
+        for i in 0..n {
+            if let Some(v) = b.get(i) {
+                slow.learn(i, v);
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn unknown_iter_skips_full_words() {
+        let mut p = PartialArray::new(200);
+        p.learn_slice(0, &BitArray::zeros(128));
+        p.learn(130, true);
+        let v: Vec<usize> = p.unknown_iter().collect();
+        let expect: Vec<usize> = (128..200).filter(|&i| i != 130).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_operations_are_noops() {
+        let mut x = BitArray::zeros(70);
+        let src = BitArray::zeros(0);
+        x.copy_range(70, &src, 0..0);
+        x.write_at(0, &src);
+        assert_eq!(x.slice(70..70).len(), 0);
+        let mut p = PartialArray::new(0);
+        p.learn_slice(0, &src);
+        assert!(p.is_complete());
+        assert_eq!(p.unknown_iter().count(), 0);
+        assert_eq!(BitArray::zeros(0).word_count(), 0);
     }
 }

@@ -75,9 +75,23 @@ impl PeerSet {
 
     /// Creates a full set containing every peer in `0..universe`.
     pub fn full(universe: usize) -> Self {
+        PeerSet::from_fn(universe, |_| true)
+    }
+
+    /// Creates a set from a membership predicate on peer indices, filling
+    /// one packed word at a time.
+    pub fn from_fn(universe: usize, mut f: impl FnMut(usize) -> bool) -> Self {
         let mut s = PeerSet::new(universe);
-        for i in 0..universe {
-            s.insert(PeerId(i));
+        for (w, word) in s.words.iter_mut().enumerate() {
+            let base = w * 64;
+            let top = 64.min(universe - base);
+            let mut v = 0u64;
+            for b in 0..top {
+                if f(base + b) {
+                    v |= 1 << b;
+                }
+            }
+            *word = v;
         }
         s
     }

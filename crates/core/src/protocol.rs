@@ -53,7 +53,15 @@ pub trait Context<M: ProtocolMessage> {
     /// Queries one bit of the external source (cost: 1 query).
     fn query(&mut self, index: usize) -> bool;
 
-    /// Queries a contiguous bit range (cost: length of the range).
+    /// Queries a contiguous bit range (cost: length of the range, exactly
+    /// one bit charged per bit in the range).
+    ///
+    /// The provided implementation loops over [`Context::query`]; contexts
+    /// backed by a real [`SourceHandle`](crate::SourceHandle) override it
+    /// with the bulk word-level path (one batched meter update, identical
+    /// accounting). Contexts that answer queries from somewhere other than
+    /// the handle — e.g. the lower-bound fake-source context — keep this
+    /// default so the per-bit semantics stay authoritative.
     fn query_range(&mut self, range: Range<usize>) -> BitArray {
         let mut out = BitArray::zeros(range.len());
         for (off, i) in range.enumerate() {

@@ -38,6 +38,20 @@ pub trait Source: Send + Sync {
     ///
     /// Implementations may panic if `index >= len()`.
     fn bit(&self, index: usize) -> bool;
+
+    /// Returns the bits of `range` as a packed array.
+    ///
+    /// The provided implementation calls [`Source::bit`] once per bit;
+    /// in-memory sources should override it with a word-level copy (see
+    /// [`ArraySource`]). Overrides must agree bit-for-bit with the default —
+    /// metering is handled by the caller, never here.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `range.end > len()`.
+    fn bits(&self, range: Range<usize>) -> BitArray {
+        BitArray::from_fn(range.len(), |i| self.bit(range.start + i))
+    }
 }
 
 impl Source for Box<dyn Source> {
@@ -46,6 +60,9 @@ impl Source for Box<dyn Source> {
     }
     fn bit(&self, index: usize) -> bool {
         (**self).bit(index)
+    }
+    fn bits(&self, range: Range<usize>) -> BitArray {
+        (**self).bits(range)
     }
 }
 
@@ -75,6 +92,12 @@ impl Source for ArraySource {
 
     fn bit(&self, index: usize) -> bool {
         self.bits.get(index)
+    }
+
+    fn bits(&self, range: Range<usize>) -> BitArray {
+        // Word-aligned copy (shift/mask across word boundaries) instead of
+        // the per-bit default.
+        self.bits.slice(range)
     }
 }
 
@@ -112,6 +135,18 @@ impl QueryMeter {
         self.counts[peer.index()].fetch_add(1, Ordering::Relaxed);
         if let Some(log) = &self.index_log {
             log[peer.index()].lock().push(index);
+        }
+    }
+
+    /// Records that `peer` queried every index in `range`: one atomic add
+    /// of `range.len()`, and — when index tracking is on — one lock
+    /// acquisition extending the log with the indices in ascending order.
+    /// Equivalent to calling [`QueryMeter::record`] for each index in turn,
+    /// both in counts and in the recorded log.
+    pub fn record_range(&self, peer: PeerId, range: Range<usize>) {
+        self.counts[peer.index()].fetch_add(range.len() as u64, Ordering::Relaxed);
+        if let Some(log) = &self.index_log {
+            log[peer.index()].lock().extend(range);
         }
     }
 
@@ -231,9 +266,19 @@ impl SourceHandle {
         self.source.bit(index)
     }
 
-    /// Queries a contiguous range of bits (cost: range length).
+    /// Queries a contiguous range of bits.
+    ///
+    /// Cost accounting: one bit is charged per bit in the range — exactly as
+    /// if [`SourceHandle::query`] were called for each index in ascending
+    /// order — but the whole charge lands in a single meter update
+    /// ([`QueryMeter::record_range`]: one atomic add, and one lock
+    /// acquisition when index tracking is on). Combined with
+    /// [`Source::bits`], a range query is `O(range.len() / 64)` word
+    /// operations for in-memory sources instead of one dynamically
+    /// dispatched, individually metered call per bit.
     pub fn query_range(&self, range: Range<usize>) -> BitArray {
-        BitArray::from_fn(range.len(), |i| self.query(range.start + i))
+        self.meter.record_range(self.peer, range.clone());
+        self.source.bits(range)
     }
 
     /// Queries made so far by this handle's peer.
@@ -251,6 +296,7 @@ impl std::fmt::Debug for SourceHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn source(n: usize) -> SharedSource {
         SharedSource::new(ArraySource::new(BitArray::from_fn(n, |i| i % 3 == 0)), 4)
@@ -323,5 +369,60 @@ mod tests {
         let s = source(4);
         s.handle(PeerId(0)).query(0);
         assert_eq!(s.meter().indices(PeerId(0)), None);
+    }
+
+    /// A source with no `bits` override, exercising the per-bit default.
+    struct PerBitSource(BitArray);
+
+    impl Source for PerBitSource {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn bit(&self, index: usize) -> bool {
+            self.0.get(index)
+        }
+    }
+
+    #[test]
+    fn bits_default_matches_array_override() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let input = BitArray::random(300, &mut rng);
+        let fast = ArraySource::new(input.clone());
+        let slow = PerBitSource(input.clone());
+        for range in [0..300, 0..0, 63..65, 7..300, 128..192, 299..300] {
+            assert_eq!(
+                Source::bits(&fast, range.clone()),
+                slow.bits(range.clone()),
+                "range {range:?}"
+            );
+            assert_eq!(slow.bits(range.clone()), input.slice(range.clone()));
+        }
+    }
+
+    #[test]
+    fn record_range_matches_per_bit_record() {
+        let a = QueryMeter::with_index_tracking(2);
+        let b = QueryMeter::with_index_tracking(2);
+        a.record_range(PeerId(0), 3..9);
+        a.record_range(PeerId(0), 9..9); // empty: no-op
+        a.record_range(PeerId(1), 0..2);
+        for i in 3..9 {
+            b.record(PeerId(0), i);
+        }
+        for i in 0..2 {
+            b.record(PeerId(1), i);
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.indices(PeerId(0)), b.indices(PeerId(0)));
+        assert_eq!(a.indices(PeerId(1)), b.indices(PeerId(1)));
+    }
+
+    #[test]
+    fn query_range_through_custom_source_uses_one_meter_update() {
+        let s = SharedSource::with_index_tracking(ArraySource::new(BitArray::zeros(64)), 1);
+        let h = s.handle(PeerId(0));
+        h.query_range(10..20);
+        assert_eq!(h.queries_so_far(), 10);
+        assert_eq!(s.meter().indices(PeerId(0)), Some((10..20).collect()));
     }
 }

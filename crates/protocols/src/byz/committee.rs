@@ -138,17 +138,19 @@ impl Protocol for CommitteeDownload {
     fn on_start(&mut self, ctx: &mut dyn Context<VoteBatch>) {
         let me = ctx.me();
         let c = self.committee_size();
-        let mut votes = Vec::new();
-        for j in 0..self.n {
-            if in_committee(j, self.k, c, me) {
-                let v = ctx.query(j);
-                self.acc.learn(j, v);
-                votes.push(v);
-            }
+        // Pack votes straight into a BitArray (one word-level buffer, no
+        // intermediate Vec<bool>): vote r is the r-th index j with
+        // `in_committee(j, k, c, me)`, in ascending order of j.
+        let mine: Vec<usize> = (0..self.n)
+            .filter(|&j| in_committee(j, self.k, c, me))
+            .collect();
+        let mut values = BitArray::zeros(mine.len());
+        for (r, &j) in mine.iter().enumerate() {
+            let v = ctx.query(j);
+            self.acc.learn(j, v);
+            values.set(r, v);
         }
-        ctx.broadcast(VoteBatch {
-            values: BitArray::from_bools(&votes),
-        });
+        ctx.broadcast(VoteBatch { values });
         self.check_done();
     }
 

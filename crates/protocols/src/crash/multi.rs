@@ -543,9 +543,7 @@ impl Protocol for CrashMultiDownload {
             MultiCrashMsg::Final { bits } => {
                 self.finished[from.index()] = true;
                 if bits.len() == self.n {
-                    for j in 0..self.n {
-                        self.acc.learn(j, bits.get(j));
-                    }
+                    self.acc.learn_slice(0, &bits);
                 }
                 self.terminate(ctx);
             }

@@ -398,9 +398,7 @@ impl Protocol for SingleCrashDownload {
             }
             SingleCrashMsg::Full { bits } => {
                 if bits.len() == self.n {
-                    for j in 0..self.n {
-                        self.acc.learn(j, bits.get(j));
-                    }
+                    self.acc.learn_slice(0, &bits);
                 }
                 self.finish_if_complete(ctx);
             }

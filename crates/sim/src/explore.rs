@@ -115,6 +115,11 @@ impl<M: ProtocolMessage> Context<M> for ExploreCtx<'_, M> {
     fn query(&mut self, index: usize) -> bool {
         self.handle.query(index)
     }
+    fn query_range(&mut self, range: std::ops::Range<usize>) -> BitArray {
+        // Bulk path: one meter update + word-level copy instead of the
+        // default per-bit loop. Identical cost accounting and results.
+        self.handle.query_range(range)
+    }
     fn rng(&mut self) -> &mut dyn RngCore {
         self.rng
     }

@@ -126,6 +126,30 @@ mod tests {
     }
 
     #[test]
+    fn bulk_query_meter_matches_bitwise_reference() {
+        // Before the bulk fast path, SimCtx::query_range looped over
+        // query(), metering each index one at a time. The bulk path must
+        // charge identically: with Balanced at n=256, k=8 every peer is
+        // charged its 32-bit share and the index log is that peer's
+        // contiguous range in ascending order — the exact pre-change values.
+        let n = 256;
+        let k = 8;
+        let params = ModelParams::fault_free(n, k).unwrap();
+        let sim = SimBuilder::new(params)
+            .seed(42)
+            .protocol(move |_| Balanced::new(n))
+            .track_query_indices()
+            .build();
+        let report = sim.run().unwrap();
+        assert_eq!(report.query_counts, vec![32; 8]);
+        let logs = report.query_indices.as_ref().expect("tracking enabled");
+        for (p, log) in logs.iter().enumerate() {
+            let expect: Vec<usize> = (p * 32..(p + 1) * 32).collect();
+            assert_eq!(log, &expect, "peer {p} index log");
+        }
+    }
+
+    #[test]
     fn same_seed_same_execution() {
         let (r1, _) = run_balanced(7, 128, 4);
         let (r2, _) = run_balanced(7, 128, 4);

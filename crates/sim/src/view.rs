@@ -68,13 +68,7 @@ impl View<'_> {
 
     /// The set of nonfaulty (honest, non-crashed) peers.
     pub fn nonfaulty(&self) -> PeerSet {
-        let mut s = PeerSet::new(self.peers.len());
-        for (i, p) in self.peers.iter().enumerate() {
-            if p.is_nonfaulty() {
-                s.insert(PeerId(i));
-            }
-        }
-        s
+        PeerSet::from_fn(self.peers.len(), |i| self.peers[i].is_nonfaulty())
     }
 
     /// Whether every nonfaulty peer has terminated.

@@ -1,0 +1,107 @@
+//! Equivalence regression for the word-level bulk query path.
+//!
+//! `SourceHandle::query_range` now charges the meter in one batched update
+//! and reads bits through `Source::bits` (word-aligned for `ArraySource`).
+//! This must be observationally identical to the bit-at-a-time path: same
+//! outputs, same per-peer query counts (Q), same message totals (M), and
+//! the same per-peer query index logs. We run the same seeded executions
+//! twice — once against the standard `ArraySource` (bulk word-level reads)
+//! and once against a reference `Source` with no `bits` override, so every
+//! range read falls back to the per-bit default — and demand identical
+//! reports.
+
+use dr_download::core::{BitArray, FaultModel, ModelParams, PeerId, Source};
+use dr_download::protocols::{CrashMultiDownload, TwoCycleDownload};
+use dr_download::sim::{CrashPlan, RunReport, SimBuilder, StandardAdversary, UniformDelay};
+use std::ops::Range;
+
+/// Reference bit-at-a-time source: no `bits` override, so the provided
+/// per-bit default (one dynamically dispatched `bit` call per index) is
+/// used for every range read.
+struct PerBitSource(BitArray);
+
+impl Source for PerBitSource {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn bit(&self, index: usize) -> bool {
+        self.0.get(index)
+    }
+}
+
+/// Deterministic pseudo-random input that straddles word boundaries
+/// (length deliberately not a multiple of 64 where callers choose so).
+fn test_input(n: usize) -> BitArray {
+    BitArray::from_fn(n, |i| (i.wrapping_mul(2654435761) >> 7) % 5 < 2)
+}
+
+/// (outputs, per-peer Q, M, message bits, per-peer query index logs).
+type Fingerprint = (Vec<Option<BitArray>>, Vec<u64>, u64, u64, Vec<Vec<usize>>);
+
+fn fingerprint(r: &RunReport) -> Fingerprint {
+    (
+        r.outputs.clone(),
+        r.query_counts.clone(),
+        r.messages_sent,
+        r.message_bits,
+        r.query_indices.clone().expect("index tracking enabled"),
+    )
+}
+
+/// Runs the same seeded simulation with the bulk `ArraySource` and with the
+/// per-bit reference source, returning both fingerprints.
+fn run_both<P, F>(
+    params: ModelParams,
+    seed: u64,
+    crashes: Range<usize>,
+    factory: F,
+) -> (Fingerprint, Fingerprint)
+where
+    P: dr_download::core::Protocol + 'static,
+    F: Fn(PeerId) -> P + Send + Clone + 'static,
+{
+    let input = test_input(params.n());
+    let build = |use_reference_source: bool| {
+        let mut b = SimBuilder::new(params)
+            .seed(seed)
+            .protocol(factory.clone())
+            .track_query_indices();
+        b = if use_reference_source {
+            b.source(PerBitSource(input.clone()), input.clone())
+        } else {
+            b.input(input.clone())
+        };
+        if !crashes.is_empty() {
+            b = b.adversary(StandardAdversary::new(
+                UniformDelay::new(),
+                CrashPlan::before_event(crashes.clone().map(PeerId), 1),
+            ));
+        }
+        b.build()
+    };
+    let bulk = build(false).run().unwrap();
+    let reference = build(true).run().unwrap();
+    (fingerprint(&bulk), fingerprint(&reference))
+}
+
+#[test]
+fn crash_multi_bulk_path_matches_per_bit_reference() {
+    let (n, k, b) = (3 * 64 + 5, 6, 2);
+    let params = ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap();
+    let (bulk, reference) = run_both(params, 9, 0..b, move |_| CrashMultiDownload::new(n, k, b));
+    assert_eq!(bulk, reference);
+}
+
+#[test]
+fn two_cycle_bulk_path_matches_per_bit_reference() {
+    let (n, k, b) = (1024, 64, 8);
+    let params = ModelParams::builder(n, k)
+        .faults(FaultModel::Byzantine, b)
+        .build()
+        .unwrap();
+    let (bulk, reference) = run_both(params, 13, 0..0, move |_| TwoCycleDownload::new(n, k, b));
+    assert_eq!(bulk, reference);
+}

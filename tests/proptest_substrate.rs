@@ -23,6 +23,105 @@ proptest! {
     }
 
     #[test]
+    fn copy_range_matches_bit_by_bit_model(
+        dst in arb_bits(300),
+        src in arb_bits(300),
+        dst_off in 0usize..300,
+        start in 0usize..300,
+        len in 0usize..300,
+    ) {
+        // Clamp to valid (possibly empty, possibly word-straddling) bounds.
+        let start = start % src.len();
+        let len = len.min(src.len() - start).min(dst.len().saturating_sub(dst_off % dst.len()));
+        let dst_off = dst_off % dst.len();
+        let mut fast = dst.clone();
+        fast.copy_range(dst_off, &src, start..start + len);
+        let model = BitArray::from_fn(dst.len(), |i| {
+            if i >= dst_off && i < dst_off + len {
+                src.get(start + (i - dst_off))
+            } else {
+                dst.get(i)
+            }
+        });
+        prop_assert_eq!(&fast, &model);
+        // Last-word zero-padding invariant: equal arrays must also agree
+        // on the packed words, including the padded tail.
+        for w in 0..fast.word_count() {
+            prop_assert_eq!(fast.word(w), model.word(w));
+        }
+        let tail = fast.len() % 64;
+        if tail != 0 {
+            prop_assert_eq!(fast.word(fast.word_count() - 1) >> tail, 0);
+        }
+    }
+
+    #[test]
+    fn or_assign_matches_bit_by_bit_model(a in arb_bits(300), b in arb_bits(300)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (a.slice(0..n), b.slice(0..n));
+        let mut fast = a.clone();
+        fast.or_assign(&b);
+        prop_assert_eq!(&fast, &BitArray::from_fn(n, |i| a.get(i) | b.get(i)));
+        let tail = n % 64;
+        if tail != 0 {
+            prop_assert_eq!(fast.word(fast.word_count() - 1) >> tail, 0);
+        }
+    }
+
+    #[test]
+    fn learn_slice_matches_bit_by_bit_model(
+        n in 1usize..300,
+        prelearn in prop::collection::vec((0usize..300, any::<bool>()), 0..40),
+        payload in arb_bits(300),
+        offset in 0usize..300,
+    ) {
+        let mut fast = PartialArray::new(n);
+        let mut slow = PartialArray::new(n);
+        for &(j, v) in &prelearn {
+            fast.learn(j % n, v);
+            slow.learn(j % n, v);
+        }
+        let offset = offset % n;
+        let len = payload.len().min(n - offset);
+        let payload = payload.slice(0..len);
+        fast.learn_slice(offset, &payload);
+        for i in 0..len {
+            slow.learn(offset + i, payload.get(i));
+        }
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(fast.unknown_count(), slow.unknown_count());
+        let fast_unknown: Vec<usize> = fast.unknown_iter().collect();
+        let slow_unknown: Vec<usize> = (0..n).filter(|&i| !slow.is_known(i)).collect();
+        prop_assert_eq!(fast_unknown, slow_unknown);
+    }
+
+    #[test]
+    fn merge_matches_bit_by_bit_model(
+        n in 1usize..300,
+        a_bits in prop::collection::vec((0usize..300, any::<bool>()), 0..60),
+        b_bits in prop::collection::vec((0usize..300, any::<bool>()), 0..60),
+    ) {
+        let mut a = PartialArray::new(n);
+        let mut b = PartialArray::new(n);
+        for &(j, v) in &a_bits {
+            a.learn(j % n, v);
+        }
+        for &(j, v) in &b_bits {
+            b.learn(j % n, v);
+        }
+        let mut fast = a.clone();
+        fast.merge(&b);
+        let mut slow = a.clone();
+        for i in 0..n {
+            if let Some(v) = b.get(i) {
+                slow.learn(i, v);
+            }
+        }
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(fast.unknown_count(), slow.unknown_count());
+    }
+
+    #[test]
     fn first_difference_is_symmetric_and_correct(a in arb_bits(256), flips in prop::collection::vec(0usize..256, 0..4)) {
         let mut b = a.clone();
         for &j in &flips {
