@@ -267,6 +267,76 @@ where
     dr_sim::explore::explore(config, factory)
 }
 
+/// `dr chaos` — run a chaos campaign (seeds × adversaries × protocols
+/// with invariant checks and failing-schedule shrinking), or replay a
+/// `chaos_repro_*.json` reproducer with `--replay`.
+pub fn chaos(args: &Args) -> Result<(), ArgError> {
+    use dr_bench::chaos::{load_repro, replay_repro, run_campaign, Campaign};
+    if let Some(threads) = args.get("threads") {
+        let n: usize = args.require_num("threads")?;
+        if n == 0 {
+            return Err(ArgError(format!(
+                "--threads must be positive, got '{threads}'"
+            )));
+        }
+        dr_bench::par::set_threads(n);
+    }
+    if let Some(path) = args.get("replay") {
+        let repro = load_repro(std::path::Path::new(path)).map_err(ArgError)?;
+        println!(
+            "replaying {} seed={} — recorded violation: {}",
+            repro.case, repro.seed, repro.violation
+        );
+        let outcome = replay_repro(&repro);
+        return match outcome.violation {
+            Some(v) if outcome.fingerprint == repro.fingerprint => {
+                println!("reproduced: {v} (fingerprint matches)");
+                Ok(())
+            }
+            Some(v) => Err(ArgError(format!(
+                "violation reproduced ({v}) but the report fingerprint differs"
+            ))),
+            None => Err(ArgError("did NOT reproduce — run completed cleanly".into())),
+        };
+    }
+    let mut campaign = Campaign::new(
+        args.num("runs-per-case", 18u64)?,
+        args.num("seed", 0xc0ffee)?,
+    );
+    campaign.shrink = args.num("shrink", 1u8)? != 0;
+    campaign.out_dir = Some(args.get_or("out", "chaos_repros").into());
+    println!(
+        "chaos campaign: {} cases x {} runs (base seed {:#x})",
+        campaign.cases.len(),
+        campaign.runs_per_case,
+        campaign.base_seed
+    );
+    let report = run_campaign(&campaign);
+    println!(
+        "{} runs: {} violation(s)",
+        report.total_runs,
+        report.violations.len()
+    );
+    for v in &report.violations {
+        println!(
+            "  VIOLATION {} seed={}: {}",
+            v.repro.case, v.repro.seed, v.repro.violation
+        );
+        if let Some(path) = &v.path {
+            println!("    repro written to {}", path.display());
+        }
+    }
+    if report.violations.is_empty() {
+        println!("all invariants held");
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "{} invariant violation(s) found",
+            report.violations.len()
+        )))
+    }
+}
+
 /// `dr experiments` — regenerate the paper's tables. `--json <dir>`
 /// additionally writes one `BENCH_<experiment>.json` metrics file per
 /// experiment; `--threads`/`--trials` control the parallel trial runner.

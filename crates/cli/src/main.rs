@@ -10,6 +10,8 @@
 //!            [--engine <two-cycle|crash>] [--seed <u64>]
 //! dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
 //!            [--max-schedules <count>] [--seed <u64>]
+//! dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
+//!            [--shrink <0|1>] [--replay <chaos_repro_*.json>]
 //! dr experiments [--only <name>] [--json <dir>] [--threads <n>] [--trials <n>]
 //! ```
 
@@ -32,6 +34,8 @@ USAGE:
   dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
              [--max-schedules <count>] [--seed <u64>]
   dr trace   [--n <bits>] [--k <peers>] [--b <faults>] [--crashes <count>] [--seed <u64>]
+  dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
+             [--shrink <0|1>] [--replay <chaos_repro_*.json>]
   dr experiments [--json <dir>] [--threads <n>] [--trials <n>]
                  [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
                   multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
         "attack" => commands::attack(&args),
         "oracle" => commands::oracle(&args),
         "explore" => commands::explore(&args),
+        "chaos" => commands::chaos(&args),
         "experiments" => commands::experiments(&args),
         other => Err(args::ArgError(format!("unknown subcommand '{other}'"))),
     };

@@ -107,6 +107,19 @@ impl CommitteeDownload {
         2 * self.t + 1
     }
 
+    /// Chaos-campaign invariant envelope: each bit is queried by its
+    /// committee of `2t + 1` peers and the load is balanced, so
+    /// `Q ≤ ⌈n(2t+1)/k⌉ + 1` exactly; twice that plus slack leaves room
+    /// for nothing but bugs. One round of votes: small constant time.
+    pub fn cost_envelope(n: usize, k: usize, t: usize) -> crate::CostEnvelope {
+        let theory = (n * (2 * t + 1)).div_ceil(k) as f64 + 1.0;
+        crate::CostEnvelope {
+            q_max: (2.0 * theory).ceil() as u64 + 16,
+            t_base: 16.0,
+            t_per_release: 4.0,
+        }
+    }
+
     fn member(&self, j: usize, peer: PeerId) -> bool {
         in_committee(j, self.k, self.committee_size(), peer)
     }

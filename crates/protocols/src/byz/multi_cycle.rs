@@ -153,6 +153,26 @@ impl MultiCycleDownload {
         self.plan
     }
 
+    /// Chaos-campaign invariant envelope, aware of the plan
+    /// [`MultiCyclePlan::choose`] selects. Sampled cycles halve the
+    /// segment count, so the worst-case sampled total is
+    /// `Σ_c n/p_c < 2n·(1/p₁)·p₁ = 2n` plus fallback slack; time grows
+    /// with the cycle count.
+    pub fn cost_envelope(n: usize, k: usize, b: usize) -> crate::CostEnvelope {
+        match MultiCyclePlan::choose(n, k, b) {
+            MultiCyclePlan::Naive => crate::CostEnvelope {
+                q_max: n as u64 + 8,
+                t_base: 24.0,
+                t_per_release: 4.0,
+            },
+            MultiCyclePlan::Sampled { cycles, .. } => crate::CostEnvelope {
+                q_max: 2 * n as u64 + 16,
+                t_base: 16.0 + 8.0 * cycles as f64,
+                t_per_release: 4.0,
+            },
+        }
+    }
+
     /// Number of half-segments resolved by direct queries (0 w.h.p.).
     pub fn fallback_segments(&self) -> usize {
         self.fallback_segments

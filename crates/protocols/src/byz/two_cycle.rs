@@ -162,6 +162,27 @@ impl TwoCycleDownload {
         self.plan
     }
 
+    /// Chaos-campaign invariant envelope, aware of the plan
+    /// [`TwoCyclePlan::choose`] selects for `(n, k, b)`. Under the naive
+    /// plan every peer queries exactly `n` bits. Under a sampled plan the
+    /// per-peer cost is `2ℓ` sampled bits plus, for each unresolved
+    /// segment, an `ℓ`-bit direct fallback — zero w.h.p. but legal, so the
+    /// sound cap is `2ℓ + n`; it still catches runaway re-querying.
+    pub fn cost_envelope(n: usize, k: usize, b: usize) -> crate::CostEnvelope {
+        let q_max = match TwoCyclePlan::choose(n, k, b) {
+            TwoCyclePlan::Naive => n as u64 + 8,
+            TwoCyclePlan::Sampled { segments, .. } => {
+                let ell = n.div_ceil(segments) as u64;
+                2 * ell + n as u64 + 16
+            }
+        };
+        crate::CostEnvelope {
+            q_max,
+            t_base: 24.0,
+            t_per_release: 4.0,
+        }
+    }
+
     /// Number of segments resolved by the direct-query fallback (0 w.h.p.).
     pub fn fallback_segments(&self) -> usize {
         self.fallback_segments

@@ -197,6 +197,21 @@ impl CrashMultiDownload {
         }
     }
 
+    /// Chaos-campaign invariant envelope for Algorithm 2 (Theorem 2.9:
+    /// `Q ≤ (n/k)/(1−β) + n/k + 1` in expectation): twice the bound plus
+    /// slack on `Q`; time allows the phase loop, which is `O(log k)` in
+    /// expectation but capped at `max_phases` by construction.
+    pub fn cost_envelope(n: usize, k: usize, b: usize) -> crate::CostEnvelope {
+        let beta = b as f64 / k as f64;
+        let per = n as f64 / k as f64;
+        let theory = per / (1.0 - beta) + per + 1.0;
+        crate::CostEnvelope {
+            q_max: (2.0 * theory).ceil() as u64 + 16,
+            t_base: 16.0 + 8.0 * (b as f64 + 1.0),
+            t_per_release: 4.0,
+        }
+    }
+
     /// Enables the Theorem 2.13 modification: stage 3 completes as soon as
     /// every missing peer is resolved by late answers, even before `k − b`
     /// stage-2 responses arrive.

@@ -162,6 +162,18 @@ impl SingleCrashDownload {
         }
     }
 
+    /// Chaos-campaign invariant envelope for Algorithm 1 (Theorem 2.6:
+    /// `Q ≤ n/k + n/(k(k−1)) + 2`): twice the bound plus constant slack
+    /// on `Q`; time allows the two phases plus crash recovery.
+    pub fn cost_envelope(n: usize, k: usize) -> crate::CostEnvelope {
+        let theory = n as f64 / k as f64 + n as f64 / (k as f64 * (k as f64 - 1.0)) + 2.0;
+        crate::CostEnvelope {
+            q_max: (2.0 * theory).ceil() as u64 + 16,
+            t_base: 16.0,
+            t_per_release: 4.0,
+        }
+    }
+
     fn phase1_share(&self, peer: usize) -> Vec<usize> {
         (0..self.n).filter(|j| j % self.k == peer).collect()
     }

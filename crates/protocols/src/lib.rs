@@ -12,13 +12,16 @@
 //! * the [`lower_bound`] attacks making Theorems 3.1/3.2 executable;
 //! * a [`byz::strategies`] library of Byzantine behaviours;
 //! * the baselines everything is compared against ([`NaiveDownload`],
-//!   [`BalancedDownload`]).
+//!   [`BalancedDownload`]);
+//! * per-protocol [`CostEnvelope`]s — paper-bound-shaped Q/T budgets the
+//!   chaos campaign (`dr_bench::chaos`) checks after every run.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod balanced;
 pub mod byz;
 pub mod crash;
+mod envelope;
 pub mod lower_bound;
 mod naive;
 
@@ -28,6 +31,7 @@ pub use byz::{
     MultiCyclePlan, SegmentMsg, TwoCycleDownload, TwoCyclePlan, VoteBatch,
 };
 pub use crash::{owner, CrashMultiDownload, MultiCrashMsg, SingleCrashDownload, SingleCrashMsg};
+pub use envelope::{CostEnvelope, EnvelopeViolation};
 pub use lower_bound::{
     deterministic_attack, randomized_attack, AttackOutcome, FakeSourceAgent, RandomizedAttackStats,
 };

@@ -30,6 +30,22 @@ pub enum Delivery {
     Hold,
 }
 
+/// The adversary's decision at quiescence: which held messages to let go.
+///
+/// The model (§3.1) compels the adversary to make progress once every
+/// nonfaulty peer is waiting, so "release nothing" is not expressible:
+/// [`Release::Some`] with an empty (or entirely out-of-range) index set is
+/// rejected by the simulator with a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Release {
+    /// Release every held message.
+    All,
+    /// Release exactly the held messages at these indices (into the `held`
+    /// slice passed to [`Adversary::on_quiescence`]). Must select at least
+    /// one in-range index.
+    Some(Vec<usize>),
+}
+
 /// Full adversary interface consulted by the simulator.
 pub trait Adversary<M: ProtocolMessage>: Send {
     /// Offset (in ticks) before `peer` starts executing. There is no
@@ -51,13 +67,24 @@ pub trait Adversary<M: ProtocolMessage>: Send {
     ) -> Delivery;
 
     /// Called at quiescence: the event queue is empty, some nonfaulty peer
-    /// has not terminated, and `held` messages are pending. Returns the
-    /// indices (into `held`) to release now. Returning an empty vector is
-    /// interpreted as "release everything" — the model compels the
-    /// adversary to make progress.
-    fn on_quiescence(&mut self, view: &View<'_>, held: &[HeldInfo]) -> Vec<usize> {
+    /// has not terminated, and `held` messages are pending. Returns which
+    /// held messages to release now. The model compels progress, so the
+    /// decision must release at least one message; [`Release::Some`] with
+    /// no in-range index makes the simulator panic.
+    fn on_quiescence(&mut self, view: &View<'_>, held: &[HeldInfo]) -> Release {
         let (_, _) = (view, held);
-        Vec::new()
+        Release::All
+    }
+
+    /// Upper bound on the number of distinct peers this adversary intends
+    /// to crash, if it knows one in advance. Used by the simulator at build
+    /// time to enforce the *joint* fault budget
+    /// `num_crashed + num_byzantine ≤ b` before the run starts (the
+    /// per-crash budget check still applies during the run regardless).
+    /// Return `None` (the default) for adaptive adversaries that decide
+    /// online.
+    fn planned_crashes(&self) -> Option<usize> {
+        None
     }
 
     /// Called immediately before delivering an event to `peer`. Returning
@@ -321,6 +348,10 @@ impl<M: ProtocolMessage> Adversary<M> for StandardAdversary<M> {
         self.crash_plan
             .find_during(peer, event)
             .map(|keep| keep.min(planned))
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(self.crash_plan.num_crashed())
     }
 }
 

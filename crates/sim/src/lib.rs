@@ -21,8 +21,10 @@
 mod adversary;
 mod agent;
 mod builder;
+pub mod chaos;
 pub mod explore;
 mod report;
+mod schedule;
 mod sim;
 mod time;
 mod trace;
@@ -30,11 +32,13 @@ mod view;
 
 pub use adversary::{
     Adversary, CrashDirective, CrashPlan, CrashTrigger, DelayStrategy, Delivery, FixedDelay,
-    HeldInfo, StandardAdversary, TargetedSlowdown, UniformDelay,
+    HeldInfo, Release, StandardAdversary, TargetedSlowdown, UniformDelay,
 };
 pub use agent::{Agent, SilentAgent};
 pub use builder::SimBuilder;
+pub use chaos::{AdaptiveCrasher, ChaosAdversary, ChaosConfig, HoldUntilQuiescence};
 pub use report::{DownloadViolation, RunError, RunReport};
+pub use schedule::{CutDecision, RecordingAdversary, ReplayAdversary, ScheduleTrace, TraceHandle};
 pub use sim::Simulation;
 pub use time::{ticks_to_units, Ticks, TICKS_PER_UNIT};
 pub use trace::{render_trace, TraceEntry};

@@ -149,6 +149,49 @@ impl RunReport {
         Ok(())
     }
 
+    /// Deterministic digest of everything observable about the run:
+    /// outputs, fault sets, per-peer query counts, message/packet totals,
+    /// timing, events, and quiescence releases. Two runs with equal
+    /// fingerprints took the same execution — the bit-identity check
+    /// behind schedule replay (`ReplayAdversary`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            // FNV-1a over the value's bytes.
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for out in &self.outputs {
+            match out {
+                None => mix(u64::MAX),
+                Some(bits) => {
+                    mix(bits.len() as u64);
+                    for w in 0..bits.word_count() {
+                        mix(bits.word(w));
+                    }
+                }
+            }
+        }
+        for set in [&self.nonfaulty, &self.crashed, &self.byzantine] {
+            mix(set.len() as u64);
+            for p in set.iter() {
+                mix(p.index() as u64);
+            }
+        }
+        for &q in &self.query_counts {
+            mix(q);
+        }
+        mix(self.max_nonfaulty_queries);
+        mix(self.messages_sent);
+        mix(self.message_bits);
+        mix(self.virtual_time_ticks);
+        mix(self.events);
+        mix(self.quiescence_releases);
+        h
+    }
+
     /// Average queries over nonfaulty peers.
     pub fn mean_nonfaulty_queries(&self) -> f64 {
         let n = self.nonfaulty.len();

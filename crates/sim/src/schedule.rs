@@ -1,0 +1,370 @@
+//! Schedule record/replay: serializable adversary decisions.
+//!
+//! Determinism (same seed, same decision sequence ⇒ identical execution)
+//! makes every run reproducible *given the adversary's decisions*. This
+//! module captures those decisions — start offsets, per-message latencies
+//! and holds, quiescence releases, crash triggers, and mid-send cuts — into
+//! a [`ScheduleTrace`] that a [`ReplayAdversary`] plays back bit-identically,
+//! turning any failing chaos run into a committed reproducer. The chaos
+//! campaign (`dr_bench::chaos`) shrinks such traces to minimal failing
+//! schedules.
+//!
+//! Decisions are recorded positionally, aligned by hook-call order: the
+//! simulator consults the adversary in a deterministic sequence, so the
+//! `i`-th `on_send` call of a replay corresponds to the `i`-th recorded
+//! send decision. Sparse decisions (crashes, cuts) are keyed by call index
+//! instead.
+
+use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
+use crate::time::Ticks;
+use crate::view::{PeerRole, View};
+use dr_core::{PeerId, ProtocolMessage};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A recorded mid-send cut: on the `call`-th `crash_during_send`
+/// consultation, crash the sender keeping only the first `keep` messages
+/// of its batch. (A named struct because the vendored serde derive does
+/// not support tuples.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutDecision {
+    /// Index of the `crash_during_send` call this cut fires on.
+    pub call: u64,
+    /// Number of batch messages that still get out.
+    pub keep: usize,
+}
+
+/// Every adversary decision of one run, in hook-call order.
+///
+/// Encodings chosen for the vendored serde derive (no data-carrying enum
+/// variants, no tuples):
+/// * `sends[i] = None` means the `i`-th sent message was held,
+///   `Some(t)` means it was delivered after `t` ticks;
+/// * `releases[q] = None` means the `q`-th quiescence released everything
+///   ([`Release::All`]), `Some(v)` a partial release of indices `v`;
+/// * `crashes` lists the `crash_before_event` call indices that returned
+///   `true` (sparse);
+/// * `cuts` lists the `crash_during_send` calls that cut a batch (sparse).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Start offset (ticks) per `start_offset` call, in call order.
+    pub start_offsets: Vec<u64>,
+    /// Latency per `on_send` call; `None` = held.
+    pub sends: Vec<Option<u64>>,
+    /// Release decision per quiescence; `None` = release all.
+    pub releases: Vec<Option<Vec<usize>>>,
+    /// `crash_before_event` call indices that crashed the peer.
+    pub crashes: Vec<u64>,
+    /// Mid-send cuts by `crash_during_send` call index.
+    pub cuts: Vec<CutDecision>,
+}
+
+impl ScheduleTrace {
+    /// Total fault directives (crashes + cuts) — the quantity the chaos
+    /// shrinker minimizes first.
+    pub fn num_fault_directives(&self) -> usize {
+        self.crashes.len() + self.cuts.len()
+    }
+
+    /// Number of held sends plus partial releases — the schedule's
+    /// "hold complexity", minimized second.
+    pub fn num_hold_directives(&self) -> usize {
+        self.sends.iter().filter(|s| s.is_none()).count()
+            + self.releases.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Stable content hash (FNV-1a over the canonical JSON rendering),
+    /// used to name `chaos_repro_<hash>.json` files.
+    pub fn content_hash(&self) -> u64 {
+        let text = serde::json::to_string(self);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Shared handle to a trace being recorded by a [`RecordingAdversary`].
+///
+/// `Simulation` consumes its adversary, so the recorder hands out an
+/// `Arc`-backed handle up front; call [`take`](TraceHandle::take) after the
+/// run to obtain the captured trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Arc<Mutex<ScheduleTrace>>);
+
+impl TraceHandle {
+    /// Snapshot of the trace recorded so far (the full trace, after the
+    /// run completes).
+    pub fn take(&self) -> ScheduleTrace {
+        self.0.lock().clone()
+    }
+}
+
+/// Wraps any adversary and records every decision it makes into a
+/// [`ScheduleTrace`].
+pub struct RecordingAdversary<M> {
+    inner: Box<dyn Adversary<M>>,
+    trace: Arc<Mutex<ScheduleTrace>>,
+    crash_calls: u64,
+    cut_calls: u64,
+}
+
+impl<M: ProtocolMessage> RecordingAdversary<M> {
+    /// Wraps `inner`, returning the recorder and a handle to the trace it
+    /// will fill in.
+    pub fn new(inner: impl Adversary<M> + 'static) -> (Self, TraceHandle) {
+        let trace = Arc::new(Mutex::new(ScheduleTrace::default()));
+        let handle = TraceHandle(trace.clone());
+        (
+            RecordingAdversary {
+                inner: Box::new(inner),
+                trace,
+                crash_calls: 0,
+                cut_calls: 0,
+            },
+            handle,
+        )
+    }
+}
+
+impl<M: ProtocolMessage> Adversary<M> for RecordingAdversary<M> {
+    fn start_offset(&mut self, peer: PeerId, rng: &mut StdRng) -> Ticks {
+        let t = self.inner.start_offset(peer, rng);
+        self.trace.lock().start_offsets.push(t);
+        t
+    }
+
+    fn on_send(
+        &mut self,
+        view: &View<'_>,
+        from: PeerId,
+        to: PeerId,
+        msg: &M,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        let d = self.inner.on_send(view, from, to, msg, rng);
+        self.trace.lock().sends.push(match d {
+            Delivery::After(t) => Some(t),
+            Delivery::Hold => None,
+        });
+        d
+    }
+
+    fn on_quiescence(&mut self, view: &View<'_>, held: &[HeldInfo]) -> Release {
+        let r = self.inner.on_quiescence(view, held);
+        // Canonicalize partial releases (sorted, deduped, in-range) so a
+        // re-recorded trace is a stable fixed point of replay.
+        let canonical = match &r {
+            Release::All => None,
+            Release::Some(v) => {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v.dedup();
+                v.retain(|&i| i < held.len());
+                Some(v)
+            }
+        };
+        self.trace.lock().releases.push(canonical);
+        r
+    }
+
+    fn crash_before_event(&mut self, view: &View<'_>, peer: PeerId) -> bool {
+        let call = self.crash_calls;
+        self.crash_calls += 1;
+        let crash = self.inner.crash_before_event(view, peer);
+        if crash {
+            self.trace.lock().crashes.push(call);
+        }
+        crash
+    }
+
+    fn crash_during_send(
+        &mut self,
+        view: &View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
+        let call = self.cut_calls;
+        self.cut_calls += 1;
+        let cut = self.inner.crash_during_send(view, peer, planned);
+        if let Some(keep) = cut {
+            // Record the effective keep so replay reproduces the same
+            // truncation even if the inner adversary over-asked.
+            self.trace.lock().cuts.push(CutDecision {
+                call,
+                keep: keep.min(planned),
+            });
+        }
+        cut
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        self.inner.planned_crashes()
+    }
+}
+
+/// Plays a [`ScheduleTrace`] back, decision for decision.
+///
+/// On the recording's own simulation configuration the hook-call sequence
+/// aligns exactly and the run is bit-identical. Past the end of the trace
+/// (possible while the chaos shrinker evaluates edited candidates, which
+/// can change the trajectory) the replayer degrades to deterministic
+/// benign behaviour: offset 0, a fixed latency, release-all, no crashes.
+pub struct ReplayAdversary {
+    trace: ScheduleTrace,
+    fault_cap: Option<usize>,
+    start_idx: usize,
+    send_idx: usize,
+    release_idx: usize,
+    crash_calls: u64,
+    cut_calls: u64,
+}
+
+impl ReplayAdversary {
+    /// Replays `trace` from the beginning.
+    pub fn new(trace: ScheduleTrace) -> Self {
+        ReplayAdversary {
+            trace,
+            fault_cap: None,
+            start_idx: 0,
+            send_idx: 0,
+            release_idx: 0,
+            crash_calls: 0,
+            cut_calls: 0,
+        }
+    }
+
+    /// Caps total faults (crashed + Byzantine) at `b`, making replay of
+    /// *edited* traces safe: a cut that would overdraw the simulator's
+    /// crash budget is dropped instead of panicking.
+    pub fn with_fault_cap(mut self, b: usize) -> Self {
+        self.fault_cap = Some(b);
+        self
+    }
+
+    fn faults_so_far(view: &View<'_>) -> usize {
+        view.peers
+            .iter()
+            .filter(|p| p.crashed || p.role == PeerRole::Byzantine)
+            .count()
+    }
+
+    fn may_crash(&self, view: &View<'_>, peer: PeerId) -> bool {
+        view.status(peer).role == PeerRole::Honest
+            && self
+                .fault_cap
+                .is_none_or(|cap| Self::faults_so_far(view) < cap)
+    }
+}
+
+impl<M: ProtocolMessage> Adversary<M> for ReplayAdversary {
+    fn start_offset(&mut self, _peer: PeerId, _rng: &mut StdRng) -> Ticks {
+        let t = self.trace.start_offsets.get(self.start_idx).copied();
+        self.start_idx += 1;
+        t.unwrap_or(0)
+    }
+
+    fn on_send(
+        &mut self,
+        _view: &View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _msg: &M,
+        _rng: &mut StdRng,
+    ) -> Delivery {
+        let d = self.trace.sends.get(self.send_idx).cloned();
+        self.send_idx += 1;
+        match d {
+            Some(Some(t)) => Delivery::After(t),
+            Some(None) => Delivery::Hold,
+            None => Delivery::After(1),
+        }
+    }
+
+    fn on_quiescence(&mut self, _view: &View<'_>, held: &[HeldInfo]) -> Release {
+        let r = self.trace.releases.get(self.release_idx).cloned();
+        self.release_idx += 1;
+        match r {
+            Some(Some(mut v)) => {
+                v.retain(|&i| i < held.len());
+                if v.is_empty() {
+                    // The edited trajectory holds fewer messages than the
+                    // recording did here; degrade to the compelled default.
+                    Release::All
+                } else {
+                    Release::Some(v)
+                }
+            }
+            _ => Release::All,
+        }
+    }
+
+    fn crash_before_event(&mut self, view: &View<'_>, peer: PeerId) -> bool {
+        let call = self.crash_calls;
+        self.crash_calls += 1;
+        self.trace.crashes.contains(&call) && self.may_crash(view, peer)
+    }
+
+    fn crash_during_send(
+        &mut self,
+        view: &View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
+        let call = self.cut_calls;
+        self.cut_calls += 1;
+        if !self.may_crash(view, peer) {
+            return None;
+        }
+        self.trace
+            .cuts
+            .iter()
+            .find(|c| c.call == call)
+            .map(|c| c.keep.min(planned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let trace = ScheduleTrace {
+            start_offsets: vec![0, 17, 1023],
+            sends: vec![Some(5), None, Some(1024)],
+            releases: vec![None, Some(vec![0, 2])],
+            crashes: vec![3],
+            cuts: vec![CutDecision { call: 7, keep: 1 }],
+        };
+        let text = serde::json::to_string_pretty(&trace);
+        let back: ScheduleTrace = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.content_hash(), trace.content_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_traces() {
+        let a = ScheduleTrace::default();
+        let mut b = ScheduleTrace::default();
+        b.crashes.push(0);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn directive_counts() {
+        let trace = ScheduleTrace {
+            start_offsets: vec![],
+            sends: vec![Some(1), None, None],
+            releases: vec![None, Some(vec![1])],
+            crashes: vec![2, 9],
+            cuts: vec![CutDecision { call: 0, keep: 0 }],
+        };
+        assert_eq!(trace.num_fault_directives(), 3);
+        assert_eq!(trace.num_hold_directives(), 3);
+    }
+}

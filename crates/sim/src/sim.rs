@@ -15,7 +15,7 @@
 //! * a message longer than the model's `a` bits is charged as
 //!   `⌈len/a⌉` packets and its delivery takes proportionally longer.
 
-use crate::adversary::{Adversary, Delivery, HeldInfo};
+use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
 use crate::agent::Agent;
 use crate::report::{RunError, RunReport};
 use crate::time::{Ticks, TICKS_PER_UNIT};
@@ -154,6 +154,17 @@ impl<M: ProtocolMessage> Simulation<M> {
             "{byz} Byzantine peers exceed fault budget b={}",
             params.b()
         );
+        // Joint fault budget: crashes and Byzantine corruptions draw from
+        // the same `b`. Adversaries with a declared crash plan are rejected
+        // at build time instead of panicking mid-run.
+        if let Some(planned) = adversary.planned_crashes() {
+            assert!(
+                byz + planned <= params.b(),
+                "joint fault budget exceeded: {planned} planned crashes + {byz} Byzantine \
+                 peers > b={}",
+                params.b()
+            );
+        }
         Simulation {
             params,
             input,
@@ -456,26 +467,35 @@ impl<M: ProtocolMessage> Simulation<M> {
                 sent_at: h.sent_at,
             })
             .collect();
-        let mut chosen = {
+        let decision = {
             let view = View {
                 now: self.now,
                 peers: &self.status,
             };
             self.adversary.on_quiescence(&view, &infos)
         };
-        if chosen.is_empty() {
-            chosen = (0..self.held.len()).collect();
-        }
+        let mut chosen = match decision {
+            Release::All => (0..self.held.len()).collect::<Vec<_>>(),
+            Release::Some(indices) => indices,
+        };
         chosen.sort_unstable();
         chosen.dedup();
+        chosen.retain(|&i| i < self.held.len());
+        // The quiescence rule compels progress: an adversary that selects
+        // nothing releasable would stall the run forever, which the model
+        // forbids — fail loudly instead of spinning.
+        assert!(
+            !chosen.is_empty(),
+            "adversary released no held message at quiescence ({} held) — \
+             the model compels release (§3.1); return Release::All or a \
+             non-empty in-range Release::Some",
+            self.held.len()
+        );
         let now = self.now;
         let released = chosen.len();
         self.record(TraceEntry::QuiescenceRelease { at: now, released });
         // Remove in reverse so indices stay valid.
         for &i in chosen.iter().rev() {
-            if i >= self.held.len() {
-                continue;
-            }
             let h = self.held.swap_remove(i);
             let at = self.now + 1 + (h.packets - 1) * TICKS_PER_UNIT;
             self.push_event(

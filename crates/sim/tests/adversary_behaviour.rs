@@ -4,7 +4,9 @@
 use dr_core::{
     BitArray, Context, FaultModel, ModelParams, PartialArray, PeerId, Protocol, ProtocolMessage,
 };
-use dr_sim::{Adversary, Delivery, HeldInfo, SilentAgent, SimBuilder, View, TICKS_PER_UNIT};
+use dr_sim::{
+    Adversary, Delivery, HeldInfo, Release, SilentAgent, SimBuilder, View, TICKS_PER_UNIT,
+};
 use rand::rngs::StdRng;
 
 #[derive(Debug, Clone)]
@@ -79,14 +81,14 @@ impl Adversary<Chunk> for DripFeed {
     ) -> Delivery {
         Delivery::Hold
     }
-    fn on_quiescence(&mut self, _v: &View<'_>, held: &[HeldInfo]) -> Vec<usize> {
+    fn on_quiescence(&mut self, _v: &View<'_>, held: &[HeldInfo]) -> Release {
         // Release only the oldest held message.
         let oldest = held
             .iter()
             .enumerate()
             .min_by_key(|(_, h)| h.sent_at)
             .map(|(i, _)| i);
-        oldest.into_iter().collect()
+        Release::Some(oldest.into_iter().collect())
     }
 }
 
