@@ -7,6 +7,7 @@ use std::collections::HashMap;
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    // dr-lint: allow(unordered-collections): tooling tier; looked up by key, never iterated, and duplicates are rejected at parse time
     options: HashMap<String, String>,
 }
 
@@ -24,7 +25,8 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses `argv[1..]`: first token is the subcommand, the rest must
-    /// be `--key value` pairs.
+    /// be `--key value` pairs. Repeating an option is an error — silent
+    /// last-write-wins would make `--seed 1 ... --seed 2` ambiguous.
     pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
         let command = it
@@ -38,7 +40,9 @@ impl Args {
             let value = it
                 .next()
                 .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
-            options.insert(name.to_string(), value);
+            if options.insert(name.to_string(), value).is_some() {
+                return Err(ArgError(format!("--{name} given more than once")));
+            }
         }
         Ok(Args { command, options })
     }
@@ -103,6 +107,15 @@ mod tests {
         assert!(parse("run --n").is_err());
         assert!(parse("run n 1").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_option() {
+        let err = parse("run --seed 1 --n 8 --seed 2").unwrap_err();
+        assert!(err.0.contains("--seed"), "{err}");
+        assert!(err.0.contains("more than once"), "{err}");
+        // Same flag twice with the same value is still ambiguous intent.
+        assert!(parse("run --n 8 --n 8").is_err());
     }
 
     #[test]

@@ -337,6 +337,39 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     }
 }
 
+/// `dr lint` — run the determinism static-analysis pass over `crates/`
+/// without remembering the `cargo run -p dr-lint` incantation.
+pub fn lint(args: &Args) -> Result<(), ArgError> {
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("cannot read current dir: {e}")))?;
+            dr_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError(format!(
+                    "no workspace root (Cargo.toml + crates/) above {}; pass --root",
+                    cwd.display()
+                ))
+            })?
+        }
+    };
+    let report =
+        dr_lint::lint_workspace(&root).map_err(|e| ArgError(format!("lint walk failed: {e}")))?;
+    match args.get_or("format", "text") {
+        "json" => print!("{}", dr_lint::render_json(&report)),
+        "text" => print!("{}", dr_lint::render_text(&report)),
+        other => return Err(ArgError(format!("unknown --format '{other}' (text|json)"))),
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "{} determinism diagnostic(s) — see report above",
+            report.diagnostics.len()
+        )))
+    }
+}
+
 /// `dr experiments` — regenerate the paper's tables. `--json <dir>`
 /// additionally writes one `BENCH_<experiment>.json` metrics file per
 /// experiment; `--threads`/`--trials` control the parallel trial runner.

@@ -12,6 +12,7 @@
 //!            [--max-schedules <count>] [--seed <u64>]
 //! dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
 //!            [--shrink <0|1>] [--replay <chaos_repro_*.json>]
+//! dr lint    [--root <dir>] [--format <text|json>]
 //! dr experiments [--only <name>] [--json <dir>] [--threads <n>] [--trials <n>]
 //! ```
 
@@ -36,6 +37,7 @@ USAGE:
   dr trace   [--n <bits>] [--k <peers>] [--b <faults>] [--crashes <count>] [--seed <u64>]
   dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
              [--shrink <0|1>] [--replay <chaos_repro_*.json>]
+  dr lint    [--root <dir>] [--format <text|json>]     determinism static analysis
   dr experiments [--json <dir>] [--threads <n>] [--trials <n>]
                  [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
                   multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
@@ -62,6 +64,7 @@ fn main() -> ExitCode {
         "oracle" => commands::oracle(&args),
         "explore" => commands::explore(&args),
         "chaos" => commands::chaos(&args),
+        "lint" => commands::lint(&args),
         "experiments" => commands::experiments(&args),
         other => Err(args::ArgError(format!("unknown subcommand '{other}'"))),
     };

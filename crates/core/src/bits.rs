@@ -293,6 +293,46 @@ impl BitArray {
     }
 }
 
+impl PartialOrd for BitArray {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitArray {
+    /// Lexicographic order over the bit sequence (bit 0 first, `false <
+    /// true`), with a proper prefix ordering before its extensions —
+    /// exactly the order of the equivalent `Vec<bool>`. This makes
+    /// `BitArray` usable as a `DetMap`/`DetSet` key whose iteration order
+    /// is a pure function of the data, which deterministic-tier protocol
+    /// state relies on (e.g. the τ-frequent string table).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let words = self.words.len().min(other.words.len());
+        for w in 0..words {
+            // Bit 0 is the LSB of word 0; reversing each word makes the
+            // earliest bit the most significant, so plain `u64` order is
+            // bit-lexicographic order. Tail bits past `len` are kept
+            // zeroed, so a prefix compares equal through its last word
+            // and the length comparison below settles it.
+            let a = self.words[w].reverse_bits();
+            let b = other.words[w].reverse_bits();
+            match a.cmp(&b) {
+                std::cmp::Ordering::Equal => {}
+                diff => {
+                    // The differing word might only differ past one
+                    // array's end; the length check covers that case.
+                    let first_diff = (a ^ b).leading_zeros() as usize + w * 64;
+                    if first_diff >= self.len.min(other.len) {
+                        break;
+                    }
+                    return diff;
+                }
+            }
+        }
+        self.len.cmp(&other.len)
+    }
+}
+
 impl fmt::Debug for BitArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitArray[{}; ", self.len)?;

@@ -14,6 +14,9 @@
 //! * [`PeerId`] / [`PeerSet`] — peer identities and compact peer sets;
 //! * [`BitArray`] / [`PartialArray`] — the input array and each peer's
 //!   partially-known working copy;
+//! * [`collections`] — deterministic [`DetMap`](collections::DetMap) /
+//!   [`DetSet`](collections::DetSet) aliases required for keyed state in
+//!   the deterministic crate tier (enforced by `dr-lint`);
 //! * [`Segmentation`] / [`SegmentString`] — the segment machinery of the
 //!   randomized Byzantine protocols (§3.4);
 //! * [`Source`], [`ArraySource`], [`SharedSource`], [`SourceHandle`],
@@ -45,6 +48,7 @@
 
 mod assignment;
 mod bits;
+pub mod collections;
 mod error;
 mod params;
 mod peer;

@@ -94,4 +94,19 @@ proptest! {
         prop_assert_eq!(src.bit(i), src.bit(i));
         prop_assert_eq!(src.len(), bits.len());
     }
+
+    #[test]
+    fn bitarray_order_matches_bool_lexicographic(
+        a in prop::collection::vec(any::<bool>(), 0..200),
+        b in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        // `Ord` on the packed representation must agree with the
+        // lexicographic order of the unpacked bit sequence — this is what
+        // makes DetMap<BitArray, _> iteration deterministic *and*
+        // human-predictable (the τ-frequent table relies on it).
+        let pa = BitArray::from_bools(&a);
+        let pb = BitArray::from_bools(&b);
+        prop_assert_eq!(pa.cmp(&pb), a.cmp(&b));
+        prop_assert_eq!(pa.cmp(&pa), std::cmp::Ordering::Equal);
+    }
 }

@@ -1,0 +1,10 @@
+// Fixture: a valid allow comment suppresses exactly one diagnostic; the
+// second HashMap is still reported.
+use std::collections::BTreeMap;
+
+pub struct Caches {
+    // dr-lint: allow(unordered-collections): never iterated, keys looked up individually
+    warm: std::collections::HashMap<u32, u32>,
+    cold: std::collections::HashMap<u32, u32>,
+    sound: BTreeMap<u32, u32>,
+}

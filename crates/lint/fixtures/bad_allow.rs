@@ -1,0 +1,10 @@
+// Fixture: malformed allow comments. Expected: `bad-allow` diagnostics
+// for the justification-less allow and the unknown rule name, and the
+// HashMap they fail to cover is still reported.
+
+pub struct S {
+    // dr-lint: allow(unordered-collections)
+    a: std::collections::HashMap<u8, u8>,
+    // dr-lint: allow(made-up-rule): not a real rule
+    b: u8,
+}

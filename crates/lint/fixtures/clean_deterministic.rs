@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+//! Fixture: a clean deterministic-tier crate root. Mentions of HashMap,
+//! Instant::now, and thread_rng in comments and strings must not fire.
+
+use dr_core::collections::{DetMap, DetSet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Docs may say HashMap or SystemTime freely.
+pub struct State {
+    counts: DetMap<u32, u64>,
+    seen: DetSet<u32>,
+    extra: BTreeMap<String, BTreeSet<u8>>,
+    budget: Duration,
+}
+
+pub fn describe() -> &'static str {
+    "uses HashMap? no. calls Instant::now()? no. thread_rng? also no."
+}

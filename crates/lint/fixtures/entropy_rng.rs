@@ -1,0 +1,12 @@
+// Fixture: entropy-seeded randomness in a deterministic-tier file.
+// Expected: `entropy-rng` diagnostics for thread_rng, rand::random, and
+// from_entropy.
+use rand::thread_rng;
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    let x: u64 = rand::random();
+    let seeded = rand::rngs::StdRng::from_entropy();
+    let _ = (rng, seeded);
+    x
+}

@@ -1,0 +1,7 @@
+//! Fixture: a deterministic-tier crate root without the mandatory
+//! `#![forbid(unsafe_code)]`. Expected: one `missing-forbid-unsafe`
+//! diagnostic at 1:1.
+
+pub fn fine() -> usize {
+    42
+}

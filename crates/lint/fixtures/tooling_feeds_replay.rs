@@ -1,0 +1,15 @@
+// Fixture: tooling-tier file that touches the replay artifacts — here
+// the unordered map IS flagged even though wall clocks are fine.
+use dr_sim::{RunReport, ScheduleTrace};
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn summarize(reports: &[RunReport], traces: &[ScheduleTrace]) -> usize {
+    let started = Instant::now();
+    let mut by_fingerprint: HashMap<u64, usize> = HashMap::new();
+    for r in reports {
+        *by_fingerprint.entry(r.fingerprint()).or_insert(0) += 1;
+    }
+    let _ = (started, traces);
+    by_fingerprint.len()
+}

@@ -1,0 +1,14 @@
+// Fixture: tooling-tier file with no replay artifacts in sight — the
+// unordered map and the wall clock are both fine here.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tally(words: &[String]) -> usize {
+    let t0 = Instant::now();
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *counts.entry(w.as_str()).or_insert(0) += 1;
+    }
+    let _ = t0.elapsed();
+    counts.len()
+}

@@ -1,0 +1,8 @@
+// Fixture: unordered collections in a deterministic-tier file.
+// Expected: two `unordered-collections` diagnostics (HashMap, HashSet).
+use std::collections::HashMap;
+
+pub struct Tally {
+    votes: HashMap<usize, usize>,
+    seen: std::collections::HashSet<u32>,
+}

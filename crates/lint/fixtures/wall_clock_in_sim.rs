@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in a deterministic-tier file.
+// Expected: `wall-clock` diagnostics for Instant, SystemTime, and the
+// std::time glob import.
+use std::time::*;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    let epoch = SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_nanos()
+}

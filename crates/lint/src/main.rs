@@ -1,0 +1,79 @@
+//! `dr-lint` binary: lint the workspace's `crates/` tree for determinism
+//! violations.
+//!
+//! ```text
+//! dr-lint [--root <dir>] [--json]
+//! ```
+//!
+//! Exits 0 when clean, 1 when diagnostics were found, 2 on usage or I/O
+//! errors. `--json` prints the machine-readable report to stdout
+//! (redirect it to produce a CI artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dr-lint — determinism static analysis for the DR workspace
+
+USAGE:
+  dr-lint [--root <dir>] [--json]
+
+  --root <dir>   workspace root (default: nearest ancestor with Cargo.toml + crates/)
+  --json         machine-readable diagnostics on stdout
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match dr_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root (Cargo.toml + crates/) above {cwd:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match dr_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", dr_lint::render_json(&report));
+    } else {
+        print!("{}", dr_lint::render_text(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

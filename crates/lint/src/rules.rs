@@ -1,0 +1,276 @@
+//! The determinism rules and the per-file checker.
+//!
+//! Rules are tier-aware. The *deterministic* tier (`dr-core`, `dr-sim`,
+//! `dr-protocols`, `dr-oracle`) carries every promise of bit-identical
+//! replay, so it gets the full set; the *tooling* tier (`dr-bench`,
+//! `dr-cli`, `dr-runtime`, `dr-lint`) may read wall clocks and use
+//! unordered maps, except in files that feed the replay artifacts
+//! (`ScheduleTrace` / `RunReport`), where unordered iteration could leak
+//! into recorded schedules.
+
+use crate::tokenizer::{scan, Token, TokenKind};
+use crate::{Diagnostic, Tier};
+
+/// Rule: `HashMap`/`HashSet` in deterministic state.
+pub const RULE_UNORDERED: &str = "unordered-collections";
+/// Rule: wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH`).
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule: entropy-seeded RNG (`thread_rng`, `rand::random`, `from_entropy`).
+pub const RULE_ENTROPY_RNG: &str = "entropy-rng";
+/// Rule: deterministic-tier `lib.rs` missing `#![forbid(unsafe_code)]`.
+pub const RULE_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+/// Rule: malformed `dr-lint: allow(...)` escape hatch.
+pub const RULE_BAD_ALLOW: &str = "bad-allow";
+
+/// Every rule name, for `allow(...)` validation and docs.
+pub const ALL_RULES: &[&str] = &[
+    RULE_UNORDERED,
+    RULE_WALL_CLOCK,
+    RULE_ENTROPY_RNG,
+    RULE_FORBID_UNSAFE,
+    RULE_BAD_ALLOW,
+];
+
+/// A parsed `// dr-lint: allow(<rule>): <justification>` comment.
+struct Allow {
+    rule: String,
+    /// The single source line this allow suppresses: its own line for a
+    /// trailing comment, the next line for a standalone one.
+    target_line: usize,
+}
+
+/// Extracts allow comments, reporting malformed ones as diagnostics.
+fn collect_allows(
+    file: &str,
+    scanned: &crate::tokenizer::Scan,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in &scanned.comments {
+        // The directive must be the comment's whole purpose: anchored at
+        // the start, after the `//`/`/*`/`//!` markers. Prose that merely
+        // mentions the syntax mid-sentence is not a directive.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("dr-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: RULE_BAD_ALLOW,
+                message:
+                    "unrecognized dr-lint directive (only `allow(<rule>): <justification>` exists)"
+                        .into(),
+                suggestion: "write `// dr-lint: allow(<rule>): <why this is sound>`".into(),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rule, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((rule, after)) => (rule.trim(), after),
+            None => {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    rule: RULE_BAD_ALLOW,
+                    message: "dr-lint allow is missing its `(<rule>)`".into(),
+                    suggestion: format!("name one of: {}", ALL_RULES.join(", ")),
+                });
+                continue;
+            }
+        };
+        if !ALL_RULES.contains(&rule) {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: RULE_BAD_ALLOW,
+                message: format!("dr-lint allow names unknown rule '{rule}'"),
+                suggestion: format!("name one of: {}", ALL_RULES.join(", ")),
+            });
+            continue;
+        }
+        // The justification is mandatory: a colon followed by non-empty
+        // prose. An allow without a reason is itself a diagnostic.
+        let justification = after.trim_start().strip_prefix(':').map(str::trim);
+        match justification {
+            Some(j) if !j.is_empty() => allows.push(Allow {
+                rule: rule.to_string(),
+                target_line: if c.trailing { c.line } else { c.line + 1 },
+            }),
+            _ => out.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: RULE_BAD_ALLOW,
+                message: format!("dr-lint allow({rule}) has no justification"),
+                suggestion: "append `: <why this specific use is deterministic/sound>`".into(),
+            }),
+        }
+    }
+    allows
+}
+
+/// Whether the ident at `i` completes the path `a::b` ending here (i.e.
+/// tokens `[.., Ident(a), ':', ':', tokens[i]]`).
+fn path_prefix_is(tokens: &[Token], i: usize, a: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].is_ident(a)
+}
+
+/// Checks one file's source against every rule for its tier.
+///
+/// `is_lib_rs` enables the `missing-forbid-unsafe` check (it only applies
+/// to crate roots). Diagnostics suppressed by a well-formed
+/// `dr-lint: allow` comment are dropped; malformed allows are reported.
+pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Vec<Diagnostic> {
+    let scanned = scan(source);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let allows = collect_allows(file, &scanned, &mut out);
+
+    let tokens = &scanned.tokens;
+    // Tooling-tier files only get the unordered-collections rule when
+    // they touch the replay artifacts.
+    let feeds_replay = tokens
+        .iter()
+        .any(|t| t.is_ident("ScheduleTrace") || t.is_ident("RunReport"));
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => {
+                let flagged = match tier {
+                    Tier::Deterministic => true,
+                    Tier::Tooling => feeds_replay,
+                };
+                if flagged {
+                    let det = if t.text == "HashMap" {
+                        "DetMap"
+                    } else {
+                        "DetSet"
+                    };
+                    let btree = if t.text == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    };
+                    raw.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        rule: RULE_UNORDERED,
+                        message: format!(
+                            "{} has random iteration order{}",
+                            t.text,
+                            if tier == Tier::Tooling {
+                                " and this file feeds ScheduleTrace/RunReport"
+                            } else {
+                                ""
+                            }
+                        ),
+                        suggestion: format!(
+                            "use dr_core::collections::{det} (or std::collections::{btree}) so iteration is a pure function of the data"
+                        ),
+                    });
+                }
+            }
+            "Instant" | "SystemTime" | "UNIX_EPOCH" if tier == Tier::Deterministic => {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_WALL_CLOCK,
+                    message: format!("{} reads the wall clock", t.text),
+                    suggestion:
+                        "deterministic crates must use simulated time (dr_sim::Ticks); move timing to the tooling tier"
+                            .into(),
+                });
+            }
+            // `use std::time::*` can smuggle `Instant`/`SystemTime` in
+            // without naming them.
+            "time" if tier == Tier::Deterministic && path_prefix_is(tokens, i, "std") => {
+                let glob = tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|a| a.is_punct('*'));
+                if glob {
+                    raw.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        rule: RULE_WALL_CLOCK,
+                        message: "glob import of std::time can bring wall-clock types into scope"
+                            .into(),
+                        suggestion: "import std::time::Duration explicitly if that is all you need"
+                            .into(),
+                    });
+                }
+            }
+            "thread_rng" | "from_entropy" if tier == Tier::Deterministic => {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_ENTROPY_RNG,
+                    message: format!("{} seeds randomness from OS entropy", t.text),
+                    suggestion:
+                        "derive every RNG from the run seed (SeedableRng::seed_from_u64 via the simulation builder)"
+                            .into(),
+                });
+            }
+            "random" if tier == Tier::Deterministic && path_prefix_is(tokens, i, "rand") => {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_ENTROPY_RNG,
+                    message: "rand::random draws from the entropy-seeded thread RNG".into(),
+                    suggestion:
+                        "derive every RNG from the run seed (SeedableRng::seed_from_u64 via the simulation builder)"
+                            .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    if is_lib_rs && tier == Tier::Deterministic {
+        let has_forbid = tokens.windows(4).any(|w| {
+            w[0].is_ident("forbid")
+                && w[1].is_punct('(')
+                && w[2].is_ident("unsafe_code")
+                && w[3].is_punct(')')
+        });
+        if !has_forbid {
+            raw.push(Diagnostic {
+                file: file.to_string(),
+                line: 1,
+                col: 1,
+                rule: RULE_FORBID_UNSAFE,
+                message: "deterministic-tier crate root lacks #![forbid(unsafe_code)]".into(),
+                suggestion: "add `#![forbid(unsafe_code)]` at the top of lib.rs".into(),
+            });
+        }
+    }
+
+    // Apply allow suppression: each well-formed allow silences matching
+    // diagnostics on exactly its target line.
+    for d in raw {
+        let suppressed = allows
+            .iter()
+            .any(|a| a.rule == d.rule && a.target_line == d.line);
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.col));
+    out
+}

@@ -1,0 +1,408 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! determinism rules, with no external parser dependency.
+//!
+//! The scanner understands the parts of Rust's lexical grammar that could
+//! otherwise produce false positives: line and (nested) block comments,
+//! string/char/byte literals with escapes, raw strings with arbitrary
+//! hash fences, and lifetimes (so `'a` is not mistaken for an unclosed
+//! char literal). Identifiers inside comments, doc comments, and string
+//! literals are *not* emitted as code tokens — a doc sentence mentioning
+//! `HashMap` never trips a rule. Comments are collected separately so the
+//! `// dr-lint: allow(...)` escape hatch can be parsed with exact
+//! positions.
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (value irrelevant to every rule).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One code token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token text (single char for punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text, including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based column the comment starts at.
+    pub col: usize,
+    /// Whether any code token precedes the comment on its starting line
+    /// (a trailing comment annotates its own line; a standalone comment
+    /// annotates the next).
+    pub trailing: bool,
+}
+
+/// Tokenized source: code tokens plus comments, in source order.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens (identifiers, numbers, punctuation).
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Counts the `#` fence of a raw string starting after `r`/`br`. Returns
+/// `Some(hashes)` if a raw string actually starts here (`r"`, `r#"`, …).
+fn raw_fence(cursor: &mut Cursor) -> Option<usize> {
+    let mut hashes = 0;
+    loop {
+        match cursor.peek() {
+            Some('#') => {
+                cursor.bump();
+                hashes += 1;
+            }
+            Some('"') => {
+                cursor.bump();
+                return Some(hashes);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Consumes a raw string body up to `"` followed by `hashes` hashes.
+fn skip_raw_string(cursor: &mut Cursor, hashes: usize) {
+    while let Some(c) = cursor.bump() {
+        if c == '"' {
+            let mut seen = 0;
+            while seen < hashes && cursor.peek() == Some('#') {
+                cursor.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes a normal string (`"`) or char-ish (`'`) literal body with
+/// backslash escapes; the opening quote is already consumed.
+fn skip_quoted(cursor: &mut Cursor, quote: char) {
+    while let Some(c) = cursor.bump() {
+        match c {
+            '\\' => {
+                cursor.bump();
+            }
+            c if c == quote => return,
+            _ => {}
+        }
+    }
+}
+
+/// Tokenizes `src` into code tokens and comments.
+pub fn scan(src: &str) -> Scan {
+    let mut cursor = Cursor::new(src);
+    let mut out = Scan::default();
+    // Line of the last code token, for classifying trailing comments.
+    let mut last_token_line = 0usize;
+
+    while let Some(c) = cursor.peek() {
+        let (line, col) = (cursor.line, cursor.col);
+        match c {
+            c if c.is_whitespace() => {
+                cursor.bump();
+            }
+            '/' => {
+                cursor.bump();
+                match cursor.peek() {
+                    Some('/') => {
+                        let mut text = String::from("/");
+                        while let Some(n) = cursor.peek() {
+                            if n == '\n' {
+                                break;
+                            }
+                            text.push(n);
+                            cursor.bump();
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            col,
+                            trailing: last_token_line == line,
+                        });
+                    }
+                    Some('*') => {
+                        cursor.bump();
+                        let mut text = String::from("/*");
+                        let mut depth = 1usize;
+                        while depth > 0 {
+                            match cursor.bump() {
+                                None => break,
+                                Some('*') if cursor.peek() == Some('/') => {
+                                    cursor.bump();
+                                    text.push_str("*/");
+                                    depth -= 1;
+                                }
+                                Some('/') if cursor.peek() == Some('*') => {
+                                    cursor.bump();
+                                    text.push_str("/*");
+                                    depth += 1;
+                                }
+                                Some(ch) => text.push(ch),
+                            }
+                        }
+                        out.comments.push(Comment {
+                            text,
+                            line,
+                            col,
+                            trailing: last_token_line == line,
+                        });
+                    }
+                    _ => {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: "/".into(),
+                            line,
+                            col,
+                        });
+                        last_token_line = line;
+                    }
+                }
+            }
+            '"' => {
+                cursor.bump();
+                skip_quoted(&mut cursor, '"');
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                cursor.bump();
+                match cursor.peek() {
+                    Some('\\') => skip_quoted(&mut cursor, '\''),
+                    Some(n) if is_ident_start(n) => {
+                        // Consume the ident; if a closing quote follows
+                        // immediately it was a char literal after all.
+                        cursor.bump();
+                        let mut single = true;
+                        while let Some(m) = cursor.peek() {
+                            if is_ident_continue(m) {
+                                single = false;
+                                cursor.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        if cursor.peek() == Some('\'') {
+                            // `'a'` or (degenerate) `'ab'`; consume the
+                            // close only for a genuine single-char form —
+                            // otherwise leave it to start the next token.
+                            if single {
+                                cursor.bump();
+                            }
+                        }
+                    }
+                    Some(_) => skip_quoted(&mut cursor, '\''),
+                    None => {}
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#` — the "identifier" was a literal prefix.
+                let prefix_is_raw = matches!(text.as_str(), "r" | "br");
+                let prefix_is_byte = text == "b";
+                if prefix_is_raw {
+                    if let Some(hashes) = raw_fence(&mut cursor) {
+                        skip_raw_string(&mut cursor, hashes);
+                        continue;
+                    }
+                }
+                if prefix_is_byte && cursor.peek() == Some('"') {
+                    cursor.bump();
+                    skip_quoted(&mut cursor, '"');
+                    continue;
+                }
+                if prefix_is_byte && cursor.peek() == Some('\'') {
+                    cursor.bump();
+                    skip_quoted(&mut cursor, '\'');
+                    continue;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(n) = cursor.peek() {
+                    // Numeric literal bodies: digits, `_`, type suffixes,
+                    // hex/exponent letters, and `.` only when followed by
+                    // a digit (so `0..n` stays two range dots).
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        text.push(n);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                cursor.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    col,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r##"
+// mentions HashMap in a line comment
+/* block HashMap /* nested HashMap */ still comment */
+/// doc comment HashMap
+let s = "HashMap in a string";
+let r = r#"raw HashMap"#;
+let b = b"byte HashMap";
+let real = BTreeMap::new();
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "ids: {ids:?}");
+        assert!(ids.iter().any(|i| i == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a HashMap) -> char { 'x' }";
+        let ids = idents(src);
+        assert!(ids.iter().any(|i| i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "char"));
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let src = r"let q = '\''; let n = '\n'; let real = Instant::now();";
+        let ids = idents(src);
+        assert!(ids.iter().any(|i| i == "Instant"));
+        assert!(ids.iter().any(|i| i == "now"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let s = scan("ab\n  cd");
+        assert_eq!((s.tokens[0].line, s.tokens[0].col), (1, 1));
+        assert_eq!((s.tokens[1].line, s.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let s = scan("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(s.comments[0].trailing);
+        assert!(!s.comments[1].trailing);
+    }
+
+    #[test]
+    fn numbers_are_not_idents() {
+        let s = scan("0usize..10");
+        assert_eq!(s.tokens[0].kind, TokenKind::Number);
+        assert_eq!(s.tokens[0].text, "0usize");
+        // The two range dots survive as punctuation.
+        assert!(s.tokens[1].is_punct('.') && s.tokens[2].is_punct('.'));
+    }
+}

@@ -13,8 +13,8 @@
 //! messages (batched into one physical message per recipient here, sized
 //! accordingly).
 
+use dr_core::collections::DetMap;
 use dr_core::{BitArray, Context, PartialArray, PeerId, Protocol, ProtocolMessage};
-use std::collections::HashMap;
 
 /// A batch of committee votes: a packed bitmap of the sender's claimed
 /// values over its committee-membership bit set, in increasing index
@@ -77,8 +77,9 @@ pub struct CommitteeDownload {
     t: usize,
     acc: PartialArray,
     out: Option<BitArray>,
-    /// Per-bit vote tally: bit → (value → distinct committee voters).
-    tally: HashMap<usize, [Vec<PeerId>; 2]>,
+    /// Per-bit vote tally: bit → (value → distinct committee voters),
+    /// ordered so no hash order can leak into the accept sequence.
+    tally: DetMap<usize, [Vec<PeerId>; 2]>,
 }
 
 impl CommitteeDownload {
@@ -98,7 +99,7 @@ impl CommitteeDownload {
             t,
             acc: PartialArray::new(n),
             out: None,
-            tally: HashMap::new(),
+            tally: DetMap::new(),
         }
     }
 

@@ -8,8 +8,8 @@
 //! become frequent in total, which bounds the decision-tree work no matter
 //! what the adversary injects.
 
+use dr_core::collections::{DetMap, DetSet};
 use dr_core::{BitArray, PeerId, SegmentId};
-use std::collections::HashMap;
 
 /// Accumulates `(segment, string)` claims by sender and extracts the
 /// τ-frequent strings per segment.
@@ -34,11 +34,13 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct FrequencyTable {
-    /// segment → (string → distinct-sender count)
-    counts: HashMap<SegmentId, HashMap<BitArray, usize>>,
+    /// segment → (string → distinct-sender count), ordered so that
+    /// iteration (and therefore [`frequent`](FrequencyTable::frequent))
+    /// never depends on insertion or hash order.
+    counts: DetMap<SegmentId, DetMap<BitArray, usize>>,
     /// (sender, segment) pairs already recorded.
-    seen: HashMap<(PeerId, SegmentId), ()>,
-    senders: HashMap<PeerId, usize>,
+    seen: DetSet<(PeerId, SegmentId)>,
+    senders: DetMap<PeerId, usize>,
 }
 
 impl FrequencyTable {
@@ -50,29 +52,26 @@ impl FrequencyTable {
     /// Records a claim. Returns `true` if this was the sender's first
     /// claim for the segment (and was therefore counted).
     pub fn record(&mut self, sender: PeerId, segment: SegmentId, string: BitArray) -> bool {
-        use std::collections::hash_map::Entry;
-        match self.seen.entry((sender, segment)) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(());
-                *self
-                    .counts
-                    .entry(segment)
-                    .or_default()
-                    .entry(string)
-                    .or_insert(0) += 1;
-                *self.senders.entry(sender).or_insert(0) += 1;
-                true
-            }
+        if !self.seen.insert((sender, segment)) {
+            return false;
         }
+        *self
+            .counts
+            .entry(segment)
+            .or_default()
+            .entry(string)
+            .or_insert(0) += 1;
+        *self.senders.entry(sender).or_insert(0) += 1;
+        true
     }
 
     /// The `Freq(S, τ)` operator of the paper: every string for `segment`
-    /// recorded by at least `threshold` distinct senders, in an arbitrary
-    /// but deterministic order (sorted by packed bits for reproducibility).
+    /// recorded by at least `threshold` distinct senders, in ascending
+    /// bit-lexicographic order. The ordered map already iterates in
+    /// `BitArray`'s lexicographic `Ord` — the same order the old explicit
+    /// `Vec<bool>` sort produced — so no re-sort is needed.
     pub fn frequent(&self, segment: SegmentId, threshold: usize) -> Vec<BitArray> {
-        let mut out: Vec<BitArray> = self
-            .counts
+        self.counts
             .get(&segment)
             .map(|m| {
                 m.iter()
@@ -80,9 +79,7 @@ impl FrequencyTable {
                     .map(|(s, _)| s.clone())
                     .collect()
             })
-            .unwrap_or_default();
-        out.sort_by_key(|s| s.iter().collect::<Vec<bool>>());
-        out
+            .unwrap_or_default()
     }
 
     /// Number of distinct strings recorded for `segment` (frequent or not).

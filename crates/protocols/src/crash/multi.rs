@@ -32,8 +32,8 @@
 //! long-response waits from the time complexity.
 
 use super::owner::owner;
+use dr_core::collections::DetMap;
 use dr_core::{BitArray, Context, PartialArray, PeerId, Protocol, ProtocolMessage};
-use std::collections::HashMap;
 
 /// Messages of Algorithm 2. All bit payloads are packed bitmaps over
 /// *structural* index sets (`{j : owner(j, phase, k) = peer}`), which
@@ -135,8 +135,9 @@ pub struct CrashMultiDownload {
     phase: u32,
     stage: u8,
     /// Cached structural sets per phase: `sets[phase][peer]` = sorted bit
-    /// indices owned by `peer` in that phase.
-    sets: HashMap<u32, Vec<Vec<u32>>>,
+    /// indices owned by `peer` in that phase. Ordered map: the cache is
+    /// pruned with `retain`, which must visit phases deterministically.
+    sets: DetMap<u32, Vec<Vec<u32>>>,
     /// Peers counted as heard-from this phase (self, vacuous, full answers).
     correct: Vec<bool>,
     /// Missing peers computed on entering stage 3.
@@ -185,7 +186,7 @@ impl CrashMultiDownload {
             out: None,
             phase: 0,
             stage: 1,
-            sets: HashMap::new(),
+            sets: DetMap::new(),
             correct: vec![false; k],
             missing: Vec::new(),
             resp2_senders: vec![false; k],
