@@ -1,0 +1,56 @@
+//! Simulator hot-loop scaling benchmarks.
+//!
+//! `pump/*` prices the hot-loop overhaul in isolation: the pre-overhaul
+//! event-pump shape (inline heap payloads, deep per-recipient copies,
+//! O(k) stop scan) against the current shape (slab slots, shared-buffer
+//! clones, counter stop check) on the committee broadcast pattern. The
+//! `full_run/*` entries exercise the real simulator end to end at two
+//! grid points per workload so regressions in the surrounding machinery
+//! (adversary hooks, metering, trace plumbing) show up here too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dr_bench::pump::{pump_new, pump_old};
+use dr_bench::runners::{run_committee, run_crash_multi};
+
+fn bench_pump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling_pump");
+    group.sample_size(10);
+    for &(n, k, rounds) in &[(1usize << 14, 16usize, 4usize), (1 << 16, 32, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("old_shape", format!("n{n}_k{k}")),
+            &(n, k, rounds),
+            |b, &(n, k, rounds)| {
+                b.iter(|| pump_old(n, k, rounds));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("new_shape", format!("n{n}_k{k}")),
+            &(n, k, rounds),
+            |b, &(n, k, rounds)| {
+                b.iter(|| pump_new(n, k, rounds));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling_full_run");
+    group.sample_size(10);
+    group.bench_function("committee_n16384_k16_t5", |b| {
+        b.iter(|| run_committee(1 << 14, 16, 5, 5, 11));
+    });
+    group.bench_function("committee_n65536_k32_t10", |b| {
+        b.iter(|| run_committee(1 << 16, 32, 10, 10, 11));
+    });
+    group.bench_function("crash_multi_n16384_k8_b3", |b| {
+        b.iter(|| run_crash_multi(1 << 14, 8, 3, 3, 1024, false, 13));
+    });
+    group.bench_function("crash_multi_n65536_k32_b8", |b| {
+        b.iter(|| run_crash_multi(1 << 16, 32, 8, 8, 1024, false, 13));
+    });
+    group.finish();
+}
+
+criterion_group!(sim_scaling, bench_pump, bench_full_runs);
+criterion_main!(sim_scaling);

@@ -1,0 +1,13 @@
+//! Regenerates the 'sim_scaling' simulator-throughput tables (see DESIGN.md E-index).
+
+use dr_bench::cli::BinOptions;
+use dr_bench::metrics::MetricsSink;
+
+fn main() {
+    let opts = BinOptions::parse("fig_sim_scaling");
+    let mut sink = MetricsSink::new();
+    for table in dr_bench::experiments::sim_scaling::run_metered(&mut sink) {
+        print!("{table}");
+    }
+    opts.finish(&sink);
+}

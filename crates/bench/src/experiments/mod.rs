@@ -9,6 +9,7 @@ pub mod lower_bound;
 pub mod msg_size;
 pub mod multi_cycle;
 pub mod oracle;
+pub mod sim_scaling;
 pub mod strategy_ablation;
 pub mod synchrony;
 pub mod table1;
@@ -40,5 +41,6 @@ pub fn run_all_metered(sink: &mut MetricsSink) -> Vec<Table> {
     tables.extend(synchrony::run_metered(sink));
     tables.extend(exhaustive::run_metered(sink));
     tables.extend(hotpath::run_metered(sink));
+    tables.extend(sim_scaling::run_metered(sink));
     tables
 }

@@ -1,0 +1,162 @@
+//! E-scale — simulator hot-loop scaling (events/sec and memory proxy).
+//!
+//! Two families of rows, recorded as `BENCH_sim_scaling.json`:
+//!
+//! * **Pump rows** price the hot-loop overhaul itself: the pre-overhaul
+//!   shape (inline payloads, deep per-recipient copies, O(k) stop scan)
+//!   against the current shape (slab slots, shared-buffer clones,
+//!   counter stop check) on the committee broadcast pattern — see
+//!   [`crate::pump`]. The speedup column is the events/sec ratio; the
+//!   acceptance bar is ≥ 5× at the largest grid point.
+//! * **Workload rows** run the real simulator end to end (committee and
+//!   crash-multi) across a (k, n) grid, reporting events/sec and the
+//!   peak-RSS proxy `peak_queue · sizeof(event) + peak_slab · payload
+//!   bytes` from the run's peak queue/slab occupancy.
+//!
+//! Timing lives exclusively in `wall_clock_secs`; everything else in a
+//! record (including the event counts and peak occupancies baked into
+//! labels) is a pure function of the seed, preserving the harness
+//! invariant that `--json` output is bit-identical across runs once
+//! `wall_clock_secs` is stripped.
+//!
+//! Set `DR_SIM_SCALING_SMOKE=1` (the CI smoke job does) to drop the
+//! largest grid point of each family and shrink pump rounds.
+
+use crate::metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};
+use crate::pump::{pump_events, pump_new, pump_old};
+use crate::runners::{run_committee, run_crash_multi};
+use crate::table::{f, Table};
+use dr_sim::RunReport;
+use std::time::Instant;
+
+const EXPERIMENT: &str = "sim_scaling";
+
+/// Bytes a queued event occupies in the current layout: `at: u64` +
+/// `seq: u64` + `EventKind` (tag-padded `Deliver { from, to, slot }`,
+/// 24 bytes with `PeerId = usize`) = 40.
+const EVENT_BYTES: u64 = 40;
+
+fn smoke() -> bool {
+    std::env::var("DR_SIM_SCALING_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Pump grid: committee-pattern broadcast storms, (n, k, rounds).
+fn pump_grid() -> Vec<(usize, usize, usize)> {
+    let mut grid = vec![(1 << 14, 16, 8), (1 << 16, 32, 4)];
+    if !smoke() {
+        grid.push((1 << 18, 64, 2));
+    }
+    grid
+}
+
+/// Times `op` once after one warmup run, returning (result, seconds).
+fn timed<T>(mut op: impl FnMut() -> T) -> (T, f64) {
+    std::hint::black_box(op());
+    let started = Instant::now();
+    let out = op();
+    (out, started.elapsed().as_secs_f64())
+}
+
+/// Runs the scaling experiment, discarding metrics records.
+pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the scaling experiment, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let mut pump = Table::new(
+        "E-scale-a — hot-loop shape, committee broadcast pattern (old vs new)",
+        &["n", "k", "events", "ev/s old", "ev/s new", "speedup"],
+    );
+    for (n, k, rounds) in pump_grid() {
+        let events = pump_events(k, rounds);
+        let (old_stats, old_secs) = timed(|| pump_old(n, k, rounds));
+        let (new_stats, new_secs) = timed(|| pump_new(n, k, rounds));
+        assert_eq!(old_stats, new_stats, "pump shapes diverged at n={n} k={k}");
+        let old_rate = events as f64 / old_secs;
+        let new_rate = events as f64 / new_secs;
+        pump.row(vec![
+            n.to_string(),
+            k.to_string(),
+            events.to_string(),
+            f(old_rate),
+            f(new_rate),
+            f(new_rate / old_rate),
+        ]);
+        for (variant, secs) in [("old", old_secs), ("new", new_secs)] {
+            sink.push(ExperimentRecord::new(
+                EXPERIMENT,
+                format!(
+                    "pump {variant} n={n} k={k} events={events} (events/wall_clock_secs = ev/s)"
+                ),
+                ExperimentParams::nk(n, k),
+                Measured::queries_only(&[], secs),
+            ));
+        }
+    }
+
+    let mut workloads = Table::new(
+        "E-scale-b — end-to-end simulator scaling",
+        &[
+            "workload",
+            "n",
+            "k",
+            "events",
+            "ev/s",
+            "peak queue",
+            "peak slab",
+            "rss proxy MiB",
+        ],
+    );
+    let mut workload_row = |sink: &mut MetricsSink,
+                            workload: &str,
+                            n: usize,
+                            k: usize,
+                            b: usize,
+                            a: usize,
+                            (report, secs): (RunReport, f64)| {
+        let rate = report.events as f64 / secs;
+        // Resident size is dominated by queued events plus live payloads.
+        let proxy_bytes =
+            report.peak_queue_len * EVENT_BYTES + report.peak_slab_len * (n as u64 / 8);
+        workloads.row(vec![
+            workload.to_string(),
+            n.to_string(),
+            k.to_string(),
+            report.events.to_string(),
+            f(rate),
+            report.peak_queue_len.to_string(),
+            report.peak_slab_len.to_string(),
+            f(proxy_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!(
+                "{workload} n={n} k={k} events={} peak_queue={} peak_slab={} (events/wall_clock_secs = ev/s)",
+                report.events, report.peak_queue_len, report.peak_slab_len
+            ),
+            ExperimentParams::nkb(n, k, b).with_a(a),
+            Measured::one(&report, secs),
+        ));
+    };
+
+    let mut committee_grid = vec![(1 << 14, 16usize, 5usize), (1 << 16, 32, 10)];
+    if !smoke() {
+        committee_grid.push((1 << 18, 64, 21));
+    }
+    for &(n, k, t) in &committee_grid {
+        let m = timed(|| run_committee(n, k, t, t, 11));
+        workload_row(sink, "committee", n, k, t, 0, m);
+    }
+
+    let mut crash_grid = vec![(1 << 14, 8usize, 3usize), (1 << 16, 32, 8)];
+    if !smoke() {
+        crash_grid.push((1 << 18, 64, 16));
+    }
+    for &(n, k, b) in &crash_grid {
+        let m = timed(|| run_crash_multi(n, k, b, b, 1024, false, 13));
+        workload_row(sink, "crash_multi", n, k, b, 1024, m);
+    }
+
+    vec![pump, workloads]
+}

@@ -1,0 +1,184 @@
+//! Event-pump replicas of the simulator hot loop, before and after the
+//! zero-copy overhaul.
+//!
+//! The overhaul (shared-buffer `BitArray`, slab-backed event queue,
+//! incremental stop check) replaced the old hot-loop shape in place, so
+//! the old code no longer exists to benchmark against. These pumps
+//! reproduce both shapes faithfully enough to price the difference: each
+//! round, every one of `k` peers broadcasts one `n`-bit payload to the
+//! other `k − 1`, and the loop then drains the queue, checking the stop
+//! condition per event — exactly the committee workload's traffic
+//! pattern (every peer floods its segment, then its full reconstruction).
+//!
+//! * [`pump_old`]: heap nodes carry the payload inline, each recipient
+//!   gets a deep (word-for-word) copy, and the stop check is an O(k)
+//!   scan — the pre-overhaul shape.
+//! * [`pump_new`]: payloads live in a slot-indexed slab behind `u32`
+//!   handles, each recipient's copy is an O(1) shared-buffer clone, and
+//!   the stop check is a counter comparison — the shape `dr_sim` now
+//!   uses.
+//!
+//! Both return the number of events processed plus a payload checksum,
+//! so the payload reads cannot be optimized away and the two variants
+//! can be asserted to agree.
+
+use dr_core::BitArray;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a pump run processed (for per-second rates and cross-checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Delivery events drained from the queue.
+    pub events: u64,
+    /// XOR/rotate digest over delivered payload words.
+    pub checksum: u64,
+}
+
+/// Events one pump run generates for the given shape.
+pub fn pump_events(k: usize, rounds: usize) -> u64 {
+    (k * (k - 1) * rounds) as u64
+}
+
+fn fold(checksum: u64, word: u64, seq: u64) -> u64 {
+    checksum.rotate_left(7) ^ word.wrapping_add(seq)
+}
+
+struct OldNode {
+    at: u64,
+    seq: u64,
+    payload: BitArray,
+}
+
+impl PartialEq for OldNode {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for OldNode {}
+impl PartialOrd for OldNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OldNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The pre-overhaul hot-loop shape: payloads inline in heap nodes, one
+/// deep copy per recipient, O(k) stop scan per processed event.
+pub fn pump_old(n: usize, k: usize, rounds: usize) -> PumpStats {
+    let payload = BitArray::random(n, &mut StdRng::seed_from_u64(0x5ca1e));
+    let terminated = vec![false; k];
+    let mut heap: BinaryHeap<OldNode> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut stats = PumpStats {
+        events: 0,
+        checksum: 0,
+    };
+    for round in 0..rounds {
+        for _sender in 0..k {
+            for _to in 0..k - 1 {
+                heap.push(OldNode {
+                    at: round as u64,
+                    seq,
+                    // One full word-for-word copy per recipient, as the
+                    // pre-copy-on-write `Clone` did.
+                    payload: payload.deep_clone(),
+                });
+                seq += 1;
+            }
+        }
+        while let Some(node) = heap.pop() {
+            if terminated.iter().all(|t| *t) {
+                break;
+            }
+            stats.checksum = fold(stats.checksum, node.payload.word(0), node.seq);
+            stats.events += 1;
+        }
+    }
+    stats
+}
+
+/// The post-overhaul hot-loop shape: `u32` slot handles in heap nodes,
+/// shared-buffer payload clones, counter-based stop check.
+pub fn pump_new(n: usize, k: usize, rounds: usize) -> PumpStats {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        at: u64,
+        seq: u64,
+        slot: u32,
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    let payload = BitArray::random(n, &mut StdRng::seed_from_u64(0x5ca1e));
+    let pending_nonfaulty = k;
+    let mut slots: Vec<Option<BitArray>> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut stats = PumpStats {
+        events: 0,
+        checksum: 0,
+    };
+    for round in 0..rounds {
+        for _sender in 0..k {
+            for _to in 0..k - 1 {
+                // O(1) shared-buffer clone into the slab.
+                let msg = payload.clone();
+                let slot = match free.pop() {
+                    Some(s) => {
+                        slots[s as usize] = Some(msg);
+                        s
+                    }
+                    None => {
+                        slots.push(Some(msg));
+                        (slots.len() - 1) as u32
+                    }
+                };
+                heap.push(Node {
+                    at: round as u64,
+                    seq,
+                    slot,
+                });
+                seq += 1;
+            }
+        }
+        while let Some(node) = heap.pop() {
+            if pending_nonfaulty == 0 {
+                break;
+            }
+            let msg = slots[node.slot as usize].take().expect("live slot");
+            free.push(node.slot);
+            stats.checksum = fold(stats.checksum, msg.word(0), node.seq);
+            stats.events += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pumps_process_identical_events_and_checksums() {
+        let old = pump_old(512, 6, 3);
+        let new = pump_new(512, 6, 3);
+        assert_eq!(old, new);
+        assert_eq!(old.events, pump_events(6, 3));
+    }
+}

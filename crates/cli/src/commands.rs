@@ -409,6 +409,8 @@ pub fn experiments(args: &Args) -> Result<(), ArgError> {
         Some("strategy_ablation") => exp::strategy_ablation::run_metered(&mut sink),
         Some("synchrony") => exp::synchrony::run_metered(&mut sink),
         Some("exhaustive") => exp::exhaustive::run_metered(&mut sink),
+        Some("hotpath") => exp::hotpath::run_metered(&mut sink),
+        Some("sim_scaling") => exp::sim_scaling::run_metered(&mut sink),
         Some(other) => return Err(ArgError(format!("unknown experiment '{other}'"))),
     };
     for table in tables {

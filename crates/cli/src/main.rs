@@ -41,7 +41,7 @@ USAGE:
   dr experiments [--json <dir>] [--threads <n>] [--trials <n>]
                  [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
                   multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
-                  synchrony|exhaustive>]
+                  synchrony|exhaustive|hotpath|sim_scaling>]
 ";
 
 fn main() -> ExitCode {

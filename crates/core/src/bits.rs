@@ -11,6 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// All-ones mask covering the low `n` bits (`n <= 64`).
 #[inline]
@@ -41,6 +42,14 @@ fn read_word(words: &[u64], pos: usize) -> u64 {
 /// Unused high bits of the last word are kept zeroed so that `Eq` and `Hash`
 /// are well-defined on the packed representation.
 ///
+/// The word buffer is a shared copy-on-write store: [`Clone`] is `O(1)`
+/// (it bumps a reference count instead of copying `n` bits), and the
+/// first mutation of a shared array transparently un-shares it. This is
+/// what makes broadcast payloads in the simulator zero-copy — `k − 1`
+/// clones of an `n`-bit message cost `O(k)`, not `O(k·n)` — while
+/// `Eq`/`Hash`/`Ord`/serde all keep value semantics over the bit
+/// contents, never the sharing state.
+///
 /// # Examples
 ///
 /// ```
@@ -50,11 +59,18 @@ fn read_word(words: &[u64], pos: usize) -> u64 {
 /// x.set(3, true);
 /// assert!(x.get(3));
 /// assert_eq!(x.count_ones(), 1);
+///
+/// // Cloning shares the buffer; mutation un-shares it.
+/// let snapshot = x.clone();
+/// assert!(x.shares_buffer_with(&snapshot));
+/// x.set(4, true);
+/// assert!(!x.shares_buffer_with(&snapshot));
+/// assert!(!snapshot.get(4));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitArray {
     len: usize,
-    words: Vec<u64>,
+    words: Arc<Vec<u64>>,
 }
 
 impl BitArray {
@@ -62,8 +78,16 @@ impl BitArray {
     pub fn zeros(len: usize) -> Self {
         BitArray {
             len,
-            words: vec![0; len.div_ceil(64)],
+            words: Arc::new(vec![0; len.div_ceil(64)]),
         }
+    }
+
+    /// Mutable access to the word store, un-sharing it first if any
+    /// other array aliases it (the copy-on-write step). Cheap when the
+    /// buffer is unshared: one reference-count check, no copy.
+    #[inline]
+    fn words_mut(&mut self) -> &mut Vec<u64> {
+        Arc::make_mut(&mut self.words)
     }
 
     /// Creates an array from a predicate on bit indices.
@@ -76,8 +100,8 @@ impl BitArray {
     /// assert_eq!(x.count_ones(), 4);
     /// ```
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut out = BitArray::zeros(len);
-        for (w, word) in out.words.iter_mut().enumerate() {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (w, word) in words.iter_mut().enumerate() {
             let base = w * 64;
             let top = 64.min(len - base);
             let mut v = 0u64;
@@ -88,7 +112,10 @@ impl BitArray {
             }
             *word = v;
         }
-        out
+        BitArray {
+            len,
+            words: Arc::new(words),
+        }
     }
 
     /// Creates an array from a slice of bools.
@@ -99,11 +126,31 @@ impl BitArray {
     /// Creates a uniformly random array using the given RNG.
     pub fn random(len: usize, rng: &mut impl Rng) -> Self {
         let mut out = BitArray::zeros(len);
-        for w in &mut out.words {
+        for w in out.words_mut() {
             *w = rng.gen();
         }
         out.mask_tail();
         out
+    }
+
+    /// An independent copy with its own word buffer, never sharing with
+    /// `self`. [`Clone`] is the right call almost everywhere (it is
+    /// `O(1)` and copy-on-write protects both sides); `deep_clone`
+    /// exists for the cases that need a guaranteed-unaliased buffer —
+    /// aliasing tests and the pre-rewrite cost baseline in the
+    /// `sim_scaling` benchmarks.
+    pub fn deep_clone(&self) -> BitArray {
+        BitArray {
+            len: self.len,
+            words: Arc::new(self.words.as_ref().clone()),
+        }
+    }
+
+    /// Whether `self` and `other` currently share one word buffer (the
+    /// observable side of copy-on-write; contents-equal arrays may or
+    /// may not share).
+    pub fn shares_buffer_with(&self, other: &BitArray) -> bool {
+        Arc::ptr_eq(&self.words, &other.words)
     }
 
     /// Number of bits.
@@ -137,10 +184,11 @@ impl BitArray {
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = &mut self.words_mut()[i / 64];
         if value {
-            self.words[i / 64] |= 1 << (i % 64);
+            *word |= 1 << (i % 64);
         } else {
-            self.words[i / 64] &= !(1 << (i % 64));
+            *word &= !(1 << (i % 64));
         }
     }
 
@@ -194,7 +242,7 @@ impl BitArray {
             self.len
         );
         let mut out = BitArray::zeros(range.len());
-        for (w, word) in out.words.iter_mut().enumerate() {
+        for (w, word) in out.words_mut().iter_mut().enumerate() {
             *word = read_word(&self.words, range.start + w * 64);
         }
         out.mask_tail();
@@ -222,6 +270,10 @@ impl BitArray {
             dst_offset + len,
             self.len
         );
+        if len == 0 {
+            return;
+        }
+        let words = Arc::make_mut(&mut self.words);
         let mut done = 0;
         while done < len {
             let pos = dst_offset + done;
@@ -230,7 +282,7 @@ impl BitArray {
             // bits), so every subsequent iteration is destination-aligned.
             let take = (64 - bit).min(len - done);
             let chunk = read_word(&src.words, src_range.start + done) & low_mask(take);
-            self.words[w] = (self.words[w] & !(low_mask(take) << bit)) | (chunk << bit);
+            words[w] = (words[w] & !(low_mask(take) << bit)) | (chunk << bit);
             done += take;
         }
     }
@@ -251,7 +303,12 @@ impl BitArray {
     /// Panics if the lengths differ.
     pub fn or_assign(&mut self, other: &BitArray) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        // OR-ing an array into itself (possible through sharing) is a
+        // no-op; skip it so `make_mut` does not copy for nothing.
+        if Arc::ptr_eq(&self.words, &other.words) {
+            return;
+        }
+        for (a, b) in self.words_mut().iter_mut().zip(other.words.iter()) {
             *a |= b;
         }
     }
@@ -271,7 +328,7 @@ impl BitArray {
     /// Panics if the lengths differ.
     pub fn first_difference(&self, other: &BitArray) -> Option<usize> {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (w, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+        for (w, (a, b)) in self.words.iter().zip(other.words.iter()).enumerate() {
             let diff = a ^ b;
             if diff != 0 {
                 let bit = w * 64 + diff.trailing_zeros() as usize;
@@ -286,7 +343,7 @@ impl BitArray {
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
@@ -468,8 +525,8 @@ impl PartialArray {
             let fresh = window & !self.known.words[w];
             if fresh != 0 {
                 let incoming = (read_word(&bits.words, done) & low_mask(take)) << bit;
-                self.values.words[w] |= incoming & fresh;
-                self.known.words[w] |= fresh;
+                self.values.words_mut()[w] |= incoming & fresh;
+                self.known.words_mut()[w] |= fresh;
                 self.unknown -= fresh.count_ones() as usize;
             }
             done += take;
@@ -487,8 +544,8 @@ impl PartialArray {
         for w in 0..self.known.words.len() {
             let fresh = other.known.words[w] & !self.known.words[w];
             if fresh != 0 {
-                self.values.words[w] |= other.values.words[w] & fresh;
-                self.known.words[w] |= fresh;
+                self.values.words_mut()[w] |= other.values.words[w] & fresh;
+                self.known.words_mut()[w] |= fresh;
                 self.unknown -= fresh.count_ones() as usize;
             }
         }

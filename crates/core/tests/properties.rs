@@ -109,4 +109,99 @@ proptest! {
         prop_assert_eq!(pa.cmp(&pb), a.cmp(&b));
         prop_assert_eq!(pa.cmp(&pa), std::cmp::Ordering::Equal);
     }
+
+    #[test]
+    fn cow_clone_is_semantically_identical(bools in prop::collection::vec(any::<bool>(), 0..300)) {
+        // A cheap clone shares the buffer; a deep clone does not; neither
+        // is distinguishable through Eq, Ord, or Hash.
+        let a = BitArray::from_bools(&bools);
+        let b = a.clone();
+        let c = a.deep_clone();
+        prop_assert!(b.shares_buffer_with(&a));
+        prop_assert!(!c.shares_buffer_with(&a));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        use std::hash::{Hash, Hasher};
+        let fingerprint = |x: &BitArray| {
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        prop_assert_eq!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn cow_mutators_never_leak_into_shared_clones(
+        bools in prop::collection::vec(any::<bool>(), 1..257),
+        donor_bools in prop::collection::vec(any::<bool>(), 1..257),
+        raw_i in any::<usize>(),
+        raw_off in any::<usize>(),
+        flip in any::<bool>(),
+    ) {
+        // Share a BitArray via clone, mutate one side through every
+        // mutator, and require the other side to be word-for-word
+        // identical to its pre-mutation snapshot (no aliasing leaks).
+        let base = BitArray::from_bools(&bools);
+        let n = base.len();
+        let donor = BitArray::from_bools(&donor_bools);
+        let assert_intact = |shared: &BitArray, snapshot: &BitArray| {
+            assert_eq!(shared.len(), snapshot.len());
+            for w in 0..shared.word_count() {
+                assert_eq!(shared.word(w), snapshot.word(w), "word {w} leaked");
+            }
+        };
+
+        // set
+        {
+            let shared = base.clone();
+            prop_assert!(shared.shares_buffer_with(&base));
+            let snapshot = shared.deep_clone();
+            let mut mutated = shared.clone();
+            mutated.set(raw_i % n, flip);
+            // Any mutation un-shares, even one writing the same value.
+            prop_assert!(!mutated.shares_buffer_with(&shared));
+            assert_intact(&shared, &snapshot);
+        }
+
+        // write_at
+        {
+            let shared = base.clone();
+            let snapshot = shared.deep_clone();
+            let mut mutated = shared.clone();
+            let off = raw_off % n;
+            let take = donor.len().min(n - off);
+            mutated.write_at(off, &donor.slice(0..take));
+            assert_intact(&shared, &snapshot);
+        }
+
+        // or_assign, with a foreign donor and with the shared twin itself
+        {
+            let shared = base.clone();
+            let snapshot = shared.deep_clone();
+            let mut sized_donor = BitArray::zeros(n);
+            sized_donor.copy_range(0, &donor, 0..donor.len().min(n));
+            let mut mutated = shared.clone();
+            mutated.or_assign(&sized_donor);
+            assert_intact(&shared, &snapshot);
+            // a |= a through a shared twin is a no-op on both sides.
+            let mut self_or = shared.clone();
+            let twin = self_or.clone();
+            self_or.or_assign(&twin);
+            assert_intact(&self_or, &snapshot);
+            assert_intact(&twin, &snapshot);
+        }
+
+        // copy_range
+        {
+            let shared = base.clone();
+            let snapshot = shared.deep_clone();
+            let mut mutated = shared.clone();
+            let off = raw_off % n;
+            let take = donor.len().min(n - off);
+            mutated.copy_range(off, &donor, 0..take);
+            assert_intact(&shared, &snapshot);
+        }
+    }
 }

@@ -1,0 +1,27 @@
+//! Fixture for the `payload-clone` rule: payload-named bindings cloned
+//! inside `send`/`broadcast` call expressions fire; the move-the-binding
+//! idiom and whole-message clones stay silent.
+
+fn step(&mut self, ctx: &mut dyn Context<Msg>) {
+    // FLAG: payload cloned inside a broadcast call expression.
+    ctx.broadcast(Msg::Full { bits: bits.clone() });
+    // FLAG: payload cloned inside a send call, nested in a struct literal.
+    ctx.send(PeerId(p), Msg::Has { values: values.clone() });
+    // FLAG: still inside the call's parens, one level of nesting deeper.
+    ctx.send(to, wrap(payload.clone()));
+
+    // Clean: the retained copy is cloned outside the call; the payload
+    // binding moves into the message.
+    self.out = Some(bits.clone());
+    ctx.broadcast(Msg::Full { bits });
+    // Clean: per-recipient clone of the whole message value.
+    let msg = Msg::Final { bits };
+    ctx.send(PeerId(p), msg.clone());
+    // Clean: clone on a non-payload binding inside the call.
+    ctx.send(PeerId(p), header.clone());
+}
+
+// Clean: a free function named `send` is not a method call expression.
+fn send(bits: BitArray) -> BitArray {
+    bits.clone()
+}

@@ -15,6 +15,7 @@
 //! | `entropy-rng` | always | — |
 //! | `missing-forbid-unsafe` | `lib.rs` roots | — |
 //! | `bad-allow` | always | always |
+//! | `payload-clone` | always | — |
 //!
 //! The deterministic tier is `core`, `sim`, `protocols`, `oracle`; the
 //! tooling tier is `bench`, `cli`, `runtime`, and `lint` itself.
@@ -35,8 +36,8 @@ pub mod rules;
 pub mod tokenizer;
 
 pub use rules::{
-    check_source, ALL_RULES, RULE_BAD_ALLOW, RULE_ENTROPY_RNG, RULE_FORBID_UNSAFE, RULE_UNORDERED,
-    RULE_WALL_CLOCK,
+    check_source, ALL_RULES, RULE_BAD_ALLOW, RULE_ENTROPY_RNG, RULE_FORBID_UNSAFE,
+    RULE_PAYLOAD_CLONE, RULE_UNORDERED, RULE_WALL_CLOCK,
 };
 
 use std::fmt::Write as _;

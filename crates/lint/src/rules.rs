@@ -21,6 +21,8 @@ pub const RULE_ENTROPY_RNG: &str = "entropy-rng";
 pub const RULE_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
 /// Rule: malformed `dr-lint: allow(...)` escape hatch.
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
+/// Rule: payload binding cloned inside a `send`/`broadcast` call.
+pub const RULE_PAYLOAD_CLONE: &str = "payload-clone";
 
 /// Every rule name, for `allow(...)` validation and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -29,7 +31,13 @@ pub const ALL_RULES: &[&str] = &[
     RULE_ENTROPY_RNG,
     RULE_FORBID_UNSAFE,
     RULE_BAD_ALLOW,
+    RULE_PAYLOAD_CLONE,
 ];
+
+/// Bindings the `payload-clone` rule treats as message payloads. These are
+/// the conventional names protocol code gives to `BitArray`-typed data
+/// (matching the tokenizer's type-blind view of the source).
+const PAYLOAD_NAMES: &[&str] = &["bits", "values", "payload"];
 
 /// A parsed `// dr-lint: allow(<rule>): <justification>` comment.
 struct Allow {
@@ -225,6 +233,56 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
                         "derive every RNG from the run seed (SeedableRng::seed_from_u64 via the simulation builder)"
                             .into(),
                 });
+            }
+            // payload-clone: `<payload>.clone()` inside the argument list
+            // of a `.send(...)`/`.broadcast(...)` method call. The shared
+            // `BitArray` buffer makes a *message* clone O(1); cloning the
+            // payload binding at each call site instead keeps the
+            // pre-zero-copy O(k·n) fan-out shape alive in the source and
+            // defeats the move-the-binding idiom the simulator is built
+            // around.
+            "send" | "broadcast"
+                if tier == Tier::Deterministic
+                    && i >= 1
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|a| a.is_punct('(')) =>
+            {
+                let call = t.text.clone();
+                // Walk the call's parenthesized argument list (struct
+                // literal braces inside it do not nest parens).
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < tokens.len() && depth > 0 {
+                    let a = &tokens[j];
+                    if a.is_punct('(') {
+                        depth += 1;
+                    } else if a.is_punct(')') {
+                        depth -= 1;
+                    } else if a.kind == TokenKind::Ident
+                        && PAYLOAD_NAMES.contains(&a.text.as_str())
+                        && tokens.get(j + 1).is_some_and(|b| b.is_punct('.'))
+                        && tokens.get(j + 2).is_some_and(|b| b.is_ident("clone"))
+                        && tokens.get(j + 3).is_some_and(|b| b.is_punct('('))
+                    {
+                        raw.push(Diagnostic {
+                            file: file.to_string(),
+                            line: a.line,
+                            col: a.col,
+                            rule: RULE_PAYLOAD_CLONE,
+                            message: format!(
+                                "`{}.clone()` inside a `{call}` call clones the payload binding per call site",
+                                a.text
+                            ),
+                            suggestion: format!(
+                                "BitArray's Clone is an O(1) shared-buffer bump — build the message once, \
+                                 move `{}` into it, and clone the message per recipient (retain a copy \
+                                 with a clone *outside* the {call} expression if needed)",
+                                a.text
+                            ),
+                        });
+                    }
+                    j += 1;
+                }
             }
             "random" if tier == Tier::Deterministic && path_prefix_is(tokens, i, "rand") => {
                 raw.push(Diagnostic {

@@ -60,6 +60,29 @@ fn entropy_rng_fires() {
 }
 
 #[test]
+fn payload_clone_fires_inside_send_calls_only() {
+    let src = fixture("payload_clone.rs");
+    let diags = check_source(
+        "crates/protocols/src/fixture.rs",
+        &src,
+        Tier::Deterministic,
+        false,
+    );
+    // broadcast struct-literal clone + send struct-literal clone +
+    // nested-call clone; the move-the-binding idiom, whole-message
+    // clones, non-payload clones, and the free `fn send` stay silent.
+    assert_eq!(rule_count(&diags, "payload-clone"), 3, "{diags:?}");
+    assert_eq!(diags.len(), 3);
+    assert!(
+        diags.iter().all(|d| d.suggestion.contains("shared-buffer")),
+        "{diags:?}"
+    );
+    // The rule is about replay-tier protocol code, not harness drivers.
+    let diags = check_source("crates/bench/src/fixture.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "payload-clone"), 0, "{diags:?}");
+}
+
+#[test]
 fn missing_forbid_unsafe_fires_only_on_lib_roots() {
     let src = fixture("lib_missing_forbid.rs");
     let diags = check_source("crates/core/src/lib.rs", &src, Tier::Deterministic, true);

@@ -182,6 +182,12 @@ impl Protocol for HalfBroadcast {
     fn on_start(&mut self, ctx: &mut dyn Context<SegmentMsg>) {
         let bits = ctx.query_range(self.seg.range(self.pick));
         let me = ctx.me();
+        // One message value, shared-buffer-cloned per recipient.
+        let msg = SegmentMsg {
+            cycle: 1,
+            segment: self.pick,
+            bits,
+        };
         let mut sent = 0;
         for p in 0..ctx.num_peers() {
             if p == me.index() {
@@ -190,14 +196,7 @@ impl Protocol for HalfBroadcast {
             if sent >= self.reach {
                 break;
             }
-            ctx.send(
-                PeerId(p),
-                SegmentMsg {
-                    cycle: 1,
-                    segment: self.pick,
-                    bits: bits.clone(),
-                },
-            );
+            ctx.send(PeerId(p), msg.clone());
             sent += 1;
         }
     }

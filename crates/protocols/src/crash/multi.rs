@@ -290,14 +290,17 @@ impl CrashMultiDownload {
             self.acc.learn(j, v);
         }
         let bits = self.acc.clone().into_complete();
+        self.out = Some(bits.clone());
         // Claim 2: send everything to every peer that might still be
         // waiting; peers whose Final we already hold have terminated.
+        // One message value, cloned per recipient — each clone shares the
+        // payload buffer, so the fan-out is O(k), not O(k·n).
+        let msg = MultiCrashMsg::Final { bits };
         for p in 0..self.k {
             if p != ctx.me().index() && !self.finished[p] {
-                ctx.send(PeerId(p), MultiCrashMsg::Final { bits: bits.clone() });
+                ctx.send(PeerId(p), msg.clone());
             }
         }
-        self.out = Some(bits);
         self.stage = 4; // past every deferral condition
     }
 

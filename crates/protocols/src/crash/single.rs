@@ -210,8 +210,10 @@ impl SingleCrashDownload {
     fn finish_if_complete(&mut self, ctx: &mut dyn Context<SingleCrashMsg>) -> bool {
         if self.out.is_none() && self.acc.is_complete() {
             let bits = self.acc.clone().into_complete();
-            ctx.broadcast(SingleCrashMsg::Full { bits: bits.clone() });
-            self.out = Some(bits);
+            // The retained copy is an O(1) shared-buffer clone; the
+            // broadcast takes the array by move.
+            self.out = Some(bits.clone());
+            ctx.broadcast(SingleCrashMsg::Full { bits });
             self.step = Step::Done;
             true
         } else {

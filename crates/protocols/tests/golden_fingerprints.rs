@@ -160,10 +160,13 @@ fn run_multi_cycle(seed: u64) -> RunReport {
     verified(builder.build())
 }
 
+/// A seeded single-run driver for one golden case.
+type CaseRunner = fn(u64) -> RunReport;
+
 /// The golden grid: (case name, runner).
-fn cases() -> Vec<(&'static str, fn(u64) -> RunReport)> {
+fn cases() -> Vec<(&'static str, CaseRunner)> {
     vec![
-        ("crash_single", run_crash_single as fn(u64) -> RunReport),
+        ("crash_single", run_crash_single as CaseRunner),
         ("crash_multi", run_crash_multi),
         ("committee", run_committee),
         ("two_cycle", run_two_cycle),
@@ -175,21 +178,201 @@ fn cases() -> Vec<(&'static str, fn(u64) -> RunReport)> {
 /// `SEEDS` order. Regenerate only for intentional semantic changes (see
 /// module docs).
 const GOLDENS: &[(&str, u64, Golden)] = &[
-    ("crash_single", 1, Golden { fingerprint: 0x9386ce27c91b0216, q: 15, t_ticks: 1240, msgs: 32, msg_bits: 1015, events: 15, releases: 0 }),
-    ("crash_single", 42, Golden { fingerprint: 0x73198e1f08b5058d, q: 15, t_ticks: 1426, msgs: 31, msg_bits: 999, events: 15, releases: 0 }),
-    ("crash_single", 53469, Golden { fingerprint: 0x1da63a936a037bc5, q: 15, t_ticks: 1431, msgs: 27, msg_bits: 912, events: 14, releases: 0 }),
-    ("crash_multi", 1, Golden { fingerprint: 0x3f71e89ab90f6f57, q: 16, t_ticks: 2683, msgs: 177, msg_bits: 14424, events: 96, releases: 0 }),
-    ("crash_multi", 42, Golden { fingerprint: 0xc69c628d07a3d892, q: 32, t_ticks: 7718, msgs: 387, msg_bits: 30954, events: 242, releases: 0 }),
-    ("crash_multi", 53469, Golden { fingerprint: 0x43d21c48d49e797a, q: 32, t_ticks: 8259, msgs: 386, msg_bits: 30808, events: 245, releases: 0 }),
-    ("committee", 1, Golden { fingerprint: 0x76e232984b741394, q: 35, t_ticks: 1369, msgs: 36, msg_bits: 1230, events: 35, releases: 0 }),
-    ("committee", 42, Golden { fingerprint: 0x19317bf14263d3f0, q: 35, t_ticks: 1552, msgs: 36, msg_bits: 1230, events: 35, releases: 0 }),
-    ("committee", 53469, Golden { fingerprint: 0xe99205b016f3e690, q: 35, t_ticks: 1510, msgs: 36, msg_bits: 1230, events: 36, releases: 0 }),
-    ("two_cycle", 1, Golden { fingerprint: 0xeb460bf5611d0015, q: 1366, t_ticks: 2875, msgs: 17100, msg_bits: 12494590, events: 8660, releases: 0 }),
-    ("two_cycle", 42, Golden { fingerprint: 0xc21249b195c23f04, q: 1366, t_ticks: 2845, msgs: 17100, msg_bits: 12494970, events: 8657, releases: 0 }),
-    ("two_cycle", 53469, Golden { fingerprint: 0xa66ba89e979e1604, q: 1366, t_ticks: 2831, msgs: 17100, msg_bits: 12494685, events: 8658, releases: 0 }),
-    ("multi_cycle", 1, Golden { fingerprint: 0x13805907bdca93c9, q: 2048, t_ticks: 4089, msgs: 25080, msg_bits: 17923840, events: 8455, releases: 0 }),
-    ("multi_cycle", 42, Golden { fingerprint: 0x48ef1a40ac88fc60, q: 2048, t_ticks: 4087, msgs: 25080, msg_bits: 17923840, events: 8456, releases: 0 }),
-    ("multi_cycle", 53469, Golden { fingerprint: 0xceb1a69bc21fa037, q: 2048, t_ticks: 4084, msgs: 25080, msg_bits: 17923840, events: 8456, releases: 0 }),
+    (
+        "crash_single",
+        1,
+        Golden {
+            fingerprint: 0x9386ce27c91b0216,
+            q: 15,
+            t_ticks: 1240,
+            msgs: 32,
+            msg_bits: 1015,
+            events: 15,
+            releases: 0,
+        },
+    ),
+    (
+        "crash_single",
+        42,
+        Golden {
+            fingerprint: 0x73198e1f08b5058d,
+            q: 15,
+            t_ticks: 1426,
+            msgs: 31,
+            msg_bits: 999,
+            events: 15,
+            releases: 0,
+        },
+    ),
+    (
+        "crash_single",
+        53469,
+        Golden {
+            fingerprint: 0x1da63a936a037bc5,
+            q: 15,
+            t_ticks: 1431,
+            msgs: 27,
+            msg_bits: 912,
+            events: 14,
+            releases: 0,
+        },
+    ),
+    (
+        "crash_multi",
+        1,
+        Golden {
+            fingerprint: 0x3f71e89ab90f6f57,
+            q: 16,
+            t_ticks: 2683,
+            msgs: 177,
+            msg_bits: 14424,
+            events: 96,
+            releases: 0,
+        },
+    ),
+    (
+        "crash_multi",
+        42,
+        Golden {
+            fingerprint: 0xc69c628d07a3d892,
+            q: 32,
+            t_ticks: 7718,
+            msgs: 387,
+            msg_bits: 30954,
+            events: 242,
+            releases: 0,
+        },
+    ),
+    (
+        "crash_multi",
+        53469,
+        Golden {
+            fingerprint: 0x43d21c48d49e797a,
+            q: 32,
+            t_ticks: 8259,
+            msgs: 386,
+            msg_bits: 30808,
+            events: 245,
+            releases: 0,
+        },
+    ),
+    (
+        "committee",
+        1,
+        Golden {
+            fingerprint: 0x76e232984b741394,
+            q: 35,
+            t_ticks: 1369,
+            msgs: 36,
+            msg_bits: 1230,
+            events: 35,
+            releases: 0,
+        },
+    ),
+    (
+        "committee",
+        42,
+        Golden {
+            fingerprint: 0x19317bf14263d3f0,
+            q: 35,
+            t_ticks: 1552,
+            msgs: 36,
+            msg_bits: 1230,
+            events: 35,
+            releases: 0,
+        },
+    ),
+    (
+        "committee",
+        53469,
+        Golden {
+            fingerprint: 0xe99205b016f3e690,
+            q: 35,
+            t_ticks: 1510,
+            msgs: 36,
+            msg_bits: 1230,
+            events: 36,
+            releases: 0,
+        },
+    ),
+    (
+        "two_cycle",
+        1,
+        Golden {
+            fingerprint: 0xeb460bf5611d0015,
+            q: 1366,
+            t_ticks: 2875,
+            msgs: 17100,
+            msg_bits: 12494590,
+            events: 8660,
+            releases: 0,
+        },
+    ),
+    (
+        "two_cycle",
+        42,
+        Golden {
+            fingerprint: 0xc21249b195c23f04,
+            q: 1366,
+            t_ticks: 2845,
+            msgs: 17100,
+            msg_bits: 12494970,
+            events: 8657,
+            releases: 0,
+        },
+    ),
+    (
+        "two_cycle",
+        53469,
+        Golden {
+            fingerprint: 0xa66ba89e979e1604,
+            q: 1366,
+            t_ticks: 2831,
+            msgs: 17100,
+            msg_bits: 12494685,
+            events: 8658,
+            releases: 0,
+        },
+    ),
+    (
+        "multi_cycle",
+        1,
+        Golden {
+            fingerprint: 0x13805907bdca93c9,
+            q: 2048,
+            t_ticks: 4089,
+            msgs: 25080,
+            msg_bits: 17923840,
+            events: 8455,
+            releases: 0,
+        },
+    ),
+    (
+        "multi_cycle",
+        42,
+        Golden {
+            fingerprint: 0x48ef1a40ac88fc60,
+            q: 2048,
+            t_ticks: 4087,
+            msgs: 25080,
+            msg_bits: 17923840,
+            events: 8456,
+            releases: 0,
+        },
+    ),
+    (
+        "multi_cycle",
+        53469,
+        Golden {
+            fingerprint: 0xceb1a69bc21fa037,
+            q: 2048,
+            t_ticks: 4084,
+            msgs: 25080,
+            msg_bits: 17923840,
+            events: 8456,
+            releases: 0,
+        },
+    ),
 ];
 
 #[test]

@@ -113,6 +113,16 @@ pub struct RunReport {
     /// How many times the quiescence rule forced the adversary to release
     /// held messages.
     pub quiescence_releases: u64,
+    /// Peak event-queue occupancy over the run. Together with
+    /// [`peak_slab_len`](Self::peak_slab_len) this is the simulator's
+    /// memory-pressure proxy: resident size scales with
+    /// `peak_queue_len · sizeof(event) + peak_slab_len · payload bytes`.
+    /// Not part of [`fingerprint`](Self::fingerprint) (the fingerprint
+    /// field list is fixed so recorded goldens stay stable).
+    pub peak_queue_len: u64,
+    /// Peak number of payloads simultaneously alive in the message slab
+    /// (queued + held + pre-start buffered).
+    pub peak_slab_len: u64,
     /// Structured execution trace, present when the simulation was built
     /// with [`trace`](crate::SimBuilder::trace). Render with
     /// [`render_trace`](crate::render_trace).
@@ -231,6 +241,8 @@ mod tests {
             virtual_time_ticks: 0,
             events: 0,
             quiescence_releases: 0,
+            peak_queue_len: 0,
+            peak_slab_len: 0,
             trace: None,
         }
     }

@@ -14,6 +14,18 @@
 //!   ("the peer has sent some, but perhaps not all, of its messages");
 //! * a message longer than the model's `a` bits is charged as
 //!   `⌈len/a⌉` packets and its delivery takes proportionally longer.
+//!
+//! # Hot-loop layout
+//!
+//! Message payloads never live inside heap nodes. Every in-flight or held
+//! payload sits in a [`MsgSlab`] and is addressed by a `u32` slot, so
+//! [`QueuedEvent`] is a small `Copy` struct and `BinaryHeap` sifts move a
+//! handful of words instead of whole `BitArray`s. Each slot is owned by
+//! exactly one of: a queued `Deliver` event, a held message, or a pre-start
+//! buffer entry; whichever path consumes or drops the message frees the
+//! slot. Combined with the copy-on-write `BitArray` buffer, a k-recipient
+//! broadcast of an n-bit payload costs O(k) reference bumps, not O(k·n)
+//! copied bits.
 
 use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
 use crate::agent::Agent;
@@ -29,39 +41,91 @@ use rand::{RngCore, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-enum EventKind<M> {
-    Start(PeerId),
-    Deliver { from: PeerId, to: PeerId, msg: M },
+/// Slot-indexed store for message payloads.
+///
+/// A hand-rolled slab: `insert` hands out a `u32` slot (recycling freed
+/// slots LIFO), `take` moves the payload out and frees the slot. Payloads
+/// stay put for their whole queued/held lifetime — only slot indices move
+/// through the event queue.
+struct MsgSlab<M> {
+    slots: Vec<Option<M>>,
+    free: Vec<u32>,
+    live: usize,
+    peak: usize,
 }
 
-struct QueuedEvent<M> {
+impl<M> MsgSlab<M> {
+    fn new() -> Self {
+        MsgSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    fn insert(&mut self, msg: M) -> u32 {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(msg);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("message slab overflow");
+                self.slots.push(Some(msg));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> M {
+        self.live -= 1;
+        let msg = self.slots[slot as usize]
+            .take()
+            .expect("message slot already freed");
+        self.free.push(slot);
+        msg
+    }
+}
+
+#[derive(Clone, Copy)]
+enum EventKind {
+    Start(PeerId),
+    Deliver { from: PeerId, to: PeerId, slot: u32 },
+}
+
+#[derive(Clone, Copy)]
+struct QueuedEvent {
     at: Ticks,
     seq: u64,
-    kind: EventKind<M>,
+    kind: EventKind,
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
+impl PartialEq for QueuedEvent {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for QueuedEvent<M> {
+impl Ord for QueuedEvent {
     // Reversed so that BinaryHeap pops the earliest event first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
-struct HeldMessage<M> {
+struct HeldMessage {
     from: PeerId,
     to: PeerId,
-    msg: M,
+    slot: u32,
     sent_at: Ticks,
     packets: u64,
 }
@@ -115,11 +179,23 @@ pub struct Simulation<M: ProtocolMessage> {
     pub(crate) adv_rng: StdRng,
     pub(crate) max_events: u64,
     handles: Vec<SourceHandle>,
-    queue: BinaryHeap<QueuedEvent<M>>,
-    held: Vec<HeldMessage<M>>,
+    queue: BinaryHeap<QueuedEvent>,
+    slab: MsgSlab<M>,
+    held: Vec<HeldMessage>,
     /// Messages that arrived at a peer before its start event, waiting
     /// for it to begin (a peer cannot take a step before it starts).
-    pre_start: Vec<Vec<(PeerId, M)>>,
+    /// Entries are `(from, slot)` into the payload slab.
+    pre_start: Vec<Vec<(PeerId, u32)>>,
+    /// Count of peers that are currently nonfaulty and not terminated.
+    /// Maintained incrementally at crash and termination transitions so
+    /// the run loop's stop check is O(1) instead of an O(k) scan.
+    pending_nonfaulty: usize,
+    /// Step outbox reused across `process_event` calls (empty between
+    /// steps), so each event-handler invocation starts from retained
+    /// capacity instead of a fresh allocation.
+    outbox_scratch: Vec<(PeerId, M)>,
+    /// `HeldInfo` buffer reused across `release_held` calls.
+    held_infos: Vec<HeldInfo>,
     seq: u64,
     now: Ticks,
     crash_budget: usize,
@@ -127,6 +203,7 @@ pub struct Simulation<M: ProtocolMessage> {
     message_bits: u64,
     events: u64,
     quiescence_releases: u64,
+    peak_queue_len: u64,
     trace: Option<Vec<TraceEntry>>,
 }
 
@@ -177,8 +254,14 @@ impl<M: ProtocolMessage> Simulation<M> {
             max_events,
             handles,
             queue: BinaryHeap::new(),
+            slab: MsgSlab::new(),
             held: Vec::new(),
             pre_start: (0..k).map(|_| Vec::new()).collect(),
+            // Nobody has crashed or terminated yet, so every honest peer
+            // is pending.
+            pending_nonfaulty: k - byz,
+            outbox_scratch: Vec::new(),
+            held_infos: Vec::new(),
             seq: 0,
             now: 0,
             crash_budget: params.b() - byz,
@@ -186,6 +269,7 @@ impl<M: ProtocolMessage> Simulation<M> {
             message_bits: 0,
             events: 0,
             quiescence_releases: 0,
+            peak_queue_len: 0,
             trace: None,
         }
     }
@@ -210,10 +294,11 @@ impl<M: ProtocolMessage> Simulation<M> {
         &self.params
     }
 
-    fn push_event(&mut self, at: Ticks, kind: EventKind<M>) {
+    fn push_event(&mut self, at: Ticks, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent { at, seq, kind });
+        self.peak_queue_len = self.peak_queue_len.max(self.queue.len() as u64);
     }
 
     fn crash(&mut self, peer: PeerId) {
@@ -226,7 +311,16 @@ impl<M: ProtocolMessage> Simulation<M> {
             "adversary exceeded crash budget trying to crash {peer}"
         );
         self.crash_budget -= 1;
-        self.status[peer.index()].crashed = true;
+        let st = &mut self.status[peer.index()];
+        // Both crash hooks fire only for live peers, so this peer was
+        // counted in `pending_nonfaulty` unless it had already terminated
+        // (possible for a mid-send crash on a peer whose final step
+        // terminated it).
+        debug_assert!(!st.crashed);
+        if !st.terminated {
+            self.pending_nonfaulty -= 1;
+        }
+        st.crashed = true;
         let now = self.now;
         self.record(TraceEntry::Crash { at: now, peer });
     }
@@ -238,8 +332,10 @@ impl<M: ProtocolMessage> Simulation<M> {
     }
 
     /// Charges and schedules the outgoing batch of one step, applying the
-    /// adversary's mid-send crash cut if any.
-    fn dispatch_outbox(&mut self, peer: PeerId, mut outbox: Vec<(PeerId, M)>) {
+    /// adversary's mid-send crash cut if any. Consumes (and hands back)
+    /// the step outbox left in `outbox_scratch` by `process_event`.
+    fn dispatch_outbox(&mut self, peer: PeerId) {
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
         if !self.status[peer.index()].crashed {
             let cut = {
                 let view = View {
@@ -257,85 +353,109 @@ impl<M: ProtocolMessage> Simulation<M> {
         // this point on: the messages it still manages to emit must not
         // count toward the non-faulty communication complexity.
         let sender_nonfaulty_now = self.status[peer.index()].is_nonfaulty();
-        for (to, msg) in outbox {
+        // Peer statuses cannot change for the rest of the batch, so one
+        // `View` serves every message. The destructuring splits the borrow:
+        // the view holds `status` while the loop mutates the disjoint
+        // queue/slab/meter fields.
+        let Simulation {
+            params,
+            status,
+            adversary,
+            adv_rng,
+            queue,
+            slab,
+            held,
+            seq,
+            now,
+            messages_sent,
+            message_bits,
+            trace,
+            peak_queue_len,
+            ..
+        } = self;
+        let view = View {
+            now: *now,
+            peers: &*status,
+        };
+        let packet_bits = params.msg_bits() as u64;
+        for (to, msg) in outbox.drain(..) {
             let bits = msg.bit_len() as u64;
-            let packets = (bits.div_ceil(self.params.msg_bits() as u64)).max(1);
+            let packets = (bits.div_ceil(packet_bits)).max(1);
             if sender_nonfaulty_now {
-                self.messages_sent += packets;
-                self.message_bits += bits;
+                *messages_sent += packets;
+                *message_bits += bits;
             }
-            let decision = {
-                let view = View {
-                    now: self.now,
-                    peers: &self.status,
-                };
-                self.adversary
-                    .on_send(&view, peer, to, &msg, &mut self.adv_rng)
-            };
-            match decision {
+            match adversary.on_send(&view, peer, to, &msg, adv_rng) {
                 Delivery::After(latency) => {
                     let latency = latency.clamp(1, TICKS_PER_UNIT);
                     let transmission = (packets - 1) * TICKS_PER_UNIT;
-                    let at = self.now + latency + transmission;
-                    self.push_event(
+                    let at = *now + latency + transmission;
+                    let slot = slab.insert(msg);
+                    let s = *seq;
+                    *seq += 1;
+                    queue.push(QueuedEvent {
                         at,
-                        EventKind::Deliver {
+                        seq: s,
+                        kind: EventKind::Deliver {
                             from: peer,
                             to,
-                            msg,
+                            slot,
                         },
-                    );
+                    });
+                    *peak_queue_len = (*peak_queue_len).max(queue.len() as u64);
                 }
                 Delivery::Hold => {
-                    let now = self.now;
-                    self.record(TraceEntry::Hold {
-                        at: now,
+                    if let Some(trace) = trace {
+                        trace.push(TraceEntry::Hold {
+                            at: *now,
+                            from: peer,
+                            to,
+                        });
+                    }
+                    let slot = slab.insert(msg);
+                    held.push(HeldMessage {
                         from: peer,
                         to,
-                    });
-                    self.held.push(HeldMessage {
-                        from: peer,
-                        to,
-                        msg,
-                        sent_at: self.now,
+                        slot,
+                        sent_at: *now,
                         packets,
                     });
                 }
             }
         }
+        // Hand the (drained) buffer back for the next step.
+        self.outbox_scratch = outbox;
     }
 
-    /// Delivers one event to a peer, running its handler. Returns the
-    /// produced outbox, or `None` if the event was dropped (peer crashed,
-    /// terminated, or crashed by the adversary just now).
-    fn process_event(&mut self, kind: EventKind<M>) -> Option<(PeerId, Vec<(PeerId, M)>)> {
-        let to = match &kind {
-            EventKind::Start(p) => *p,
-            EventKind::Deliver { to, .. } => *to,
+    /// Delivers one event to a peer, running its handler. The produced
+    /// outbox is left in `outbox_scratch`; returns the stepping peer, or
+    /// `None` if the event was dropped (peer crashed, terminated, or
+    /// crashed by the adversary just now).
+    fn process_event(&mut self, kind: EventKind) -> Option<PeerId> {
+        let to = match kind {
+            EventKind::Start(p) => p,
+            EventKind::Deliver { to, .. } => to,
         };
         let st = &self.status[to.index()];
         if st.crashed || st.terminated {
-            if let EventKind::Deliver { from, to, .. } = &kind {
-                let (at, from, to) = (self.now, *from, *to);
+            if let EventKind::Deliver { from, to, slot } = kind {
+                drop(self.slab.take(slot));
+                let at = self.now;
                 self.record(TraceEntry::Drop { at, from, to });
             }
             return None;
         }
         // A peer takes no steps before its start event: messages that
-        // arrive earlier wait in a per-peer buffer and are re-enqueued
-        // the moment the peer starts (equivalent to the adversary
-        // delaying them until the recipient is awake).
-        let kind = if st.started {
-            kind
-        } else {
-            match kind {
-                EventKind::Deliver { from, msg, .. } => {
-                    self.pre_start[to.index()].push((from, msg));
-                    return None;
-                }
-                start => start,
+        // arrive earlier wait in a per-peer buffer (keeping their slab
+        // slot) and are re-enqueued the moment the peer starts
+        // (equivalent to the adversary delaying them until the recipient
+        // is awake).
+        if !st.started {
+            if let EventKind::Deliver { from, slot, .. } = kind {
+                self.pre_start[to.index()].push((from, slot));
+                return None;
             }
-        };
+        }
         // Crash faults fire only between steps: the adversary may fell the
         // peer immediately before it processes this event.
         if st.role == PeerRole::Honest && self.crash_budget > 0 {
@@ -348,23 +468,31 @@ impl<M: ProtocolMessage> Simulation<M> {
             };
             if crash_now {
                 self.crash(to);
+                if let EventKind::Deliver { slot, .. } = kind {
+                    drop(self.slab.take(slot));
+                }
                 return None;
             }
         }
         self.status[to.index()].events_processed += 1;
         self.events += 1;
-        match &kind {
-            EventKind::Start(peer) => {
-                let (at, peer) = (self.now, *peer);
-                self.record(TraceEntry::Start { at, peer });
-            }
-            EventKind::Deliver { from, msg, .. } => {
-                let (at, from, bits) = (self.now, *from, msg.bit_len());
-                self.record(TraceEntry::Deliver { at, from, to, bits });
-            }
-        }
         let is_start = matches!(kind, EventKind::Start(_));
-        let mut outbox = Vec::new();
+        // Move the payload out of the slab (freeing the slot) before the
+        // handler runs; the agent takes it by value.
+        let delivery = match kind {
+            EventKind::Start(peer) => {
+                let at = self.now;
+                self.record(TraceEntry::Start { at, peer });
+                None
+            }
+            EventKind::Deliver { from, slot, .. } => {
+                let msg = self.slab.take(slot);
+                let (at, bits) = (self.now, msg.bit_len());
+                self.record(TraceEntry::Deliver { at, from, to, bits });
+                Some((from, msg))
+            }
+        };
+        debug_assert!(self.outbox_scratch.is_empty());
         {
             let agent = &mut self.agents[to.index()];
             let mut ctx = SimCtx {
@@ -373,14 +501,14 @@ impl<M: ProtocolMessage> Simulation<M> {
                 input_len: self.params.n(),
                 handle: &self.handles[to.index()],
                 rng: &mut self.rngs[to.index()],
-                outbox: &mut outbox,
+                outbox: &mut self.outbox_scratch,
             };
-            match kind {
-                EventKind::Start(_) => {
+            match delivery {
+                None => {
                     self.status[to.index()].started = true;
                     agent.on_start(&mut ctx);
                 }
-                EventKind::Deliver { from, msg, .. } => {
+                Some((from, msg)) => {
                     agent.on_message(from, msg, &mut ctx);
                 }
             }
@@ -389,18 +517,21 @@ impl<M: ProtocolMessage> Simulation<M> {
             // Deliver anything that arrived before the peer woke up,
             // immediately after its start step, in arrival order.
             let waiting = std::mem::take(&mut self.pre_start[to.index()]);
-            for (from, msg) in waiting {
+            for (from, slot) in waiting {
                 let now = self.now;
-                self.push_event(now, EventKind::Deliver { from, to, msg });
+                self.push_event(now, EventKind::Deliver { from, to, slot });
             }
         }
         let was_terminated = self.status[to.index()].terminated;
         self.status[to.index()].terminated = self.agents[to.index()].is_terminated();
         if !was_terminated && self.status[to.index()].terminated {
+            if self.status[to.index()].is_nonfaulty() {
+                self.pending_nonfaulty -= 1;
+            }
             let now = self.now;
             self.record(TraceEntry::Terminate { at: now, peer: to });
         }
-        Some((to, outbox))
+        Some(to)
     }
 
     /// Runs the execution to completion.
@@ -421,7 +552,12 @@ impl<M: ProtocolMessage> Simulation<M> {
             self.push_event(offset, EventKind::Start(PeerId(p)));
         }
         loop {
-            if self.all_nonfaulty_terminated() {
+            debug_assert_eq!(
+                self.pending_nonfaulty == 0,
+                self.all_nonfaulty_terminated(),
+                "pending-nonfaulty counter out of sync with peer statuses"
+            );
+            if self.pending_nonfaulty == 0 {
                 break;
             }
             if self.events >= self.max_events {
@@ -432,8 +568,8 @@ impl<M: ProtocolMessage> Simulation<M> {
             match self.queue.pop() {
                 Some(ev) => {
                     self.now = self.now.max(ev.at);
-                    if let Some((peer, outbox)) = self.process_event(ev.kind) {
-                        self.dispatch_outbox(peer, outbox);
+                    if let Some(peer) = self.process_event(ev.kind) {
+                        self.dispatch_outbox(peer);
                     }
                 }
                 None => {
@@ -458,22 +594,19 @@ impl<M: ProtocolMessage> Simulation<M> {
 
     fn release_held(&mut self) {
         self.quiescence_releases += 1;
-        let infos: Vec<HeldInfo> = self
-            .held
-            .iter()
-            .map(|h| HeldInfo {
-                from: h.from,
-                to: h.to,
-                sent_at: h.sent_at,
-            })
-            .collect();
-        let decision = {
-            let view = View {
+        self.held_infos.clear();
+        self.held_infos.extend(self.held.iter().map(|h| HeldInfo {
+            from: h.from,
+            to: h.to,
+            sent_at: h.sent_at,
+        }));
+        let decision = self.adversary.on_quiescence(
+            &View {
                 now: self.now,
                 peers: &self.status,
-            };
-            self.adversary.on_quiescence(&view, &infos)
-        };
+            },
+            &self.held_infos,
+        );
         let mut chosen = match decision {
             Release::All => (0..self.held.len()).collect::<Vec<_>>(),
             Release::Some(indices) => indices,
@@ -494,7 +627,9 @@ impl<M: ProtocolMessage> Simulation<M> {
         let now = self.now;
         let released = chosen.len();
         self.record(TraceEntry::QuiescenceRelease { at: now, released });
-        // Remove in reverse so indices stay valid.
+        // Remove in reverse so indices stay valid. The payload never
+        // moves: its slot passes straight from the held entry to the
+        // delivery event.
         for &i in chosen.iter().rev() {
             let h = self.held.swap_remove(i);
             let at = self.now + 1 + (h.packets - 1) * TICKS_PER_UNIT;
@@ -503,7 +638,7 @@ impl<M: ProtocolMessage> Simulation<M> {
                 EventKind::Deliver {
                     from: h.from,
                     to: h.to,
-                    msg: h.msg,
+                    slot: h.slot,
                 },
             );
         }
@@ -551,6 +686,8 @@ impl<M: ProtocolMessage> Simulation<M> {
             virtual_time_ticks: self.now,
             events: self.events,
             quiescence_releases: self.quiescence_releases,
+            peak_queue_len: self.peak_queue_len,
+            peak_slab_len: self.slab.peak as u64,
             trace: self.trace,
         }
     }

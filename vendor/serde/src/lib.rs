@@ -258,6 +258,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Shared-pointer transparency (real serde's `rc` feature): an
+// `Arc<T>` serializes exactly as a `T` and deserializes into a fresh,
+// unshared allocation.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
