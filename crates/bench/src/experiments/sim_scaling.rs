@@ -1,17 +1,26 @@
 //! E-scale — simulator hot-loop scaling (events/sec and memory proxy).
 //!
-//! Two families of rows, recorded as `BENCH_sim_scaling.json`:
+//! Four families of rows, recorded as `BENCH_sim_scaling.json`:
 //!
-//! * **Pump rows** price the hot-loop overhaul itself: the pre-overhaul
-//!   shape (inline payloads, deep per-recipient copies, O(k) stop scan)
-//!   against the current shape (slab slots, shared-buffer clones,
-//!   counter stop check) on the committee broadcast pattern — see
-//!   [`crate::pump`]. The speedup column is the events/sec ratio; the
-//!   acceptance bar is ≥ 5× at the largest grid point.
+//! * **Pump rows** price the hot-loop shapes against each other: the
+//!   pre-overhaul shape (inline payloads, deep per-recipient copies,
+//!   O(k) stop scan), the current serial shape (slab slots,
+//!   shared-buffer clones, counter stop check), and the sharded shape
+//!   (per-shard heaps drained through a time-window barrier) on the
+//!   committee broadcast pattern — see [`crate::pump`]. The speedup
+//!   column is the events/sec ratio; the acceptance bar is ≥ 5× old→new
+//!   at the largest grid point.
 //! * **Workload rows** run the real simulator end to end (committee and
 //!   crash-multi) across a (k, n) grid, reporting events/sec and the
 //!   peak-RSS proxy `peak_queue · sizeof(event) + peak_slab · payload
 //!   bytes` from the run's peak queue/slab occupancy.
+//! * **Race rows** rerun the workload grid serial vs sharded and gate
+//!   hard on fingerprint equality — the sharded pump must be an exact
+//!   behavioral replica, timed on the same workload.
+//! * **Streaming rows** run crash-multi against a generate-on-demand
+//!   [`ChunkedSource`](dr_core::ChunkedSource) at `n` up to 2²⁷ bits
+//!   (≥ 10⁸) with a fixed 512 KiB resident budget, verifying outputs
+//!   blockwise against an independently rebuilt source.
 //!
 //! Timing lives exclusively in `wall_clock_secs`; everything else in a
 //! record (including the event counts and peak occupancies baked into
@@ -23,8 +32,11 @@
 //! largest grid point of each family and shrink pump rounds.
 
 use crate::metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};
-use crate::pump::{pump_events, pump_new, pump_old};
-use crate::runners::{run_committee, run_crash_multi};
+use crate::pump::{pump_events, pump_new, pump_old, pump_sharded};
+use crate::runners::{
+    run_committee, run_committee_sharded, run_crash_multi, run_crash_multi_sharded,
+    run_crash_multi_streaming,
+};
 use crate::table::{f, Table};
 use dr_sim::RunReport;
 use std::time::Instant;
@@ -35,6 +47,19 @@ const EXPERIMENT: &str = "sim_scaling";
 /// `seq: u64` + `EventKind` (tag-padded `Deliver { from, to, slot }`,
 /// 24 bytes with `PeerId = usize`) = 40.
 const EVENT_BYTES: u64 = 40;
+
+/// Shard count for the sharded-pump microbench rows.
+const PUMP_SHARDS: usize = 8;
+
+/// Shard count for the end-to-end serial-vs-sharded race rows.
+const WORKLOAD_SHARDS: usize = 8;
+
+/// Streaming-source geometry: 1024-word (8 KiB) chunks, at most 64
+/// resident — a 512 KiB budget regardless of `n`.
+const CHUNK_WORDS: usize = 1024;
+
+/// See [`CHUNK_WORDS`].
+const MAX_RESIDENT: usize = 64;
 
 fn smoke() -> bool {
     std::env::var("DR_SIM_SCALING_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -65,25 +90,46 @@ pub fn run() -> Vec<Table> {
 /// Runs the scaling experiment, recording per-row metrics.
 pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     let mut pump = Table::new(
-        "E-scale-a — hot-loop shape, committee broadcast pattern (old vs new)",
-        &["n", "k", "events", "ev/s old", "ev/s new", "speedup"],
+        "E-scale-a — hot-loop shape, committee broadcast pattern (old vs new vs sharded)",
+        &[
+            "n",
+            "k",
+            "events",
+            "ev/s old",
+            "ev/s new",
+            "ev/s sharded",
+            "speedup",
+            "shard speedup",
+        ],
     );
     for (n, k, rounds) in pump_grid() {
         let events = pump_events(k, rounds);
         let (old_stats, old_secs) = timed(|| pump_old(n, k, rounds));
         let (new_stats, new_secs) = timed(|| pump_new(n, k, rounds));
+        let (sharded_stats, sharded_secs) = timed(|| pump_sharded(n, k, rounds, PUMP_SHARDS));
         assert_eq!(old_stats, new_stats, "pump shapes diverged at n={n} k={k}");
+        assert_eq!(
+            new_stats, sharded_stats,
+            "sharded pump diverged at n={n} k={k}"
+        );
         let old_rate = events as f64 / old_secs;
         let new_rate = events as f64 / new_secs;
+        let sharded_rate = events as f64 / sharded_secs;
         pump.row(vec![
             n.to_string(),
             k.to_string(),
             events.to_string(),
             f(old_rate),
             f(new_rate),
+            f(sharded_rate),
             f(new_rate / old_rate),
+            f(sharded_rate / new_rate),
         ]);
-        for (variant, secs) in [("old", old_secs), ("new", new_secs)] {
+        for (variant, secs) in [
+            ("old", old_secs),
+            ("new", new_secs),
+            ("sharded", sharded_secs),
+        ] {
             sink.push(ExperimentRecord::new(
                 EXPERIMENT,
                 format!(
@@ -158,5 +204,132 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         workload_row(sink, "crash_multi", n, k, b, 1024, m);
     }
 
-    vec![pump, workloads]
+    let mut race = Table::new(
+        "E-scale-c — serial vs sharded event pump, end to end (fingerprints gated equal)",
+        &[
+            "workload",
+            "n",
+            "k",
+            "shards",
+            "events",
+            "ev/s serial",
+            "ev/s sharded",
+            "speedup",
+        ],
+    );
+    let mut race_row = |sink: &mut MetricsSink,
+                        workload: &str,
+                        n: usize,
+                        k: usize,
+                        b: usize,
+                        (serial, serial_secs): (RunReport, f64),
+                        (sharded, sharded_secs): (RunReport, f64)| {
+        // The hard gate: the sharded pump must be an exact behavioral
+        // replica of the serial one, not an approximation of it.
+        assert_eq!(
+            serial.fingerprint(),
+            sharded.fingerprint(),
+            "sharded pump diverged from serial: {workload} n={n} k={k}"
+        );
+        let serial_rate = serial.events as f64 / serial_secs;
+        let sharded_rate = sharded.events as f64 / sharded_secs;
+        race.row(vec![
+            workload.to_string(),
+            n.to_string(),
+            k.to_string(),
+            WORKLOAD_SHARDS.to_string(),
+            serial.events.to_string(),
+            f(serial_rate),
+            f(sharded_rate),
+            f(sharded_rate / serial_rate),
+        ]);
+        for (variant, report, secs) in [
+            ("serial", &serial, serial_secs),
+            ("sharded", &sharded, sharded_secs),
+        ] {
+            sink.push(ExperimentRecord::new(
+                EXPERIMENT,
+                format!(
+                    "race {workload} {variant} n={n} k={k} events={} fingerprint={:016x} (events/wall_clock_secs = ev/s)",
+                    report.events,
+                    report.fingerprint()
+                ),
+                ExperimentParams::nkb(n, k, b),
+                Measured::one(report, secs),
+            ));
+        }
+    };
+    for &(n, k, t) in &committee_grid {
+        let serial = timed(|| run_committee_sharded(n, k, t, t, 11, 1));
+        let sharded = timed(|| run_committee_sharded(n, k, t, t, 11, WORKLOAD_SHARDS));
+        race_row(sink, "committee", n, k, t, serial, sharded);
+    }
+    for &(n, k, b) in &crash_grid {
+        let serial = timed(|| run_crash_multi_sharded(n, k, b, b, 1024, false, 13, 1));
+        let sharded =
+            timed(|| run_crash_multi_sharded(n, k, b, b, 1024, false, 13, WORKLOAD_SHARDS));
+        race_row(sink, "crash_multi", n, k, b, serial, sharded);
+    }
+
+    let mut streaming = Table::new(
+        "E-scale-d — streaming source, bounded resident set (crash_multi)",
+        &[
+            "n bits",
+            "k",
+            "b",
+            "events",
+            "ev/s",
+            "cache cap",
+            "peak resident",
+            "chunks generated",
+            "resident KiB",
+        ],
+    );
+    // One grid point at n ≥ 10⁸ bits: far beyond what the workload rows
+    // materialize, held to a fixed resident budget. Smoke runs keep the
+    // path exercised at a size CI can afford.
+    let streaming_grid: Vec<(usize, usize, usize)> = if smoke() {
+        vec![(1 << 20, 8, 2)]
+    } else {
+        vec![(1 << 24, 8, 2), (1 << 27, 8, 2)]
+    };
+    for &(n, k, b) in &streaming_grid {
+        let ((report, stats), secs) = timed(|| {
+            run_crash_multi_streaming(
+                n,
+                k,
+                b,
+                b,
+                1 << 16,
+                13,
+                0xD0_57_AE,
+                CHUNK_WORDS,
+                MAX_RESIDENT,
+                1,
+            )
+        });
+        let resident_bytes = stats.peak_resident as u64 * (CHUNK_WORDS as u64) * 8;
+        streaming.row(vec![
+            n.to_string(),
+            k.to_string(),
+            b.to_string(),
+            report.events.to_string(),
+            f(report.events as f64 / secs),
+            MAX_RESIDENT.to_string(),
+            stats.peak_resident.to_string(),
+            stats.generated.to_string(),
+            f(resident_bytes as f64 / 1024.0),
+        ]);
+        sink.push(ExperimentRecord::new(
+            EXPERIMENT,
+            format!(
+                "streaming crash_multi n={n} k={k} events={} chunks_generated={} peak_resident={} cap={MAX_RESIDENT} (events/wall_clock_secs = ev/s)",
+                report.events, stats.generated, stats.peak_resident
+            ),
+            ExperimentParams::nkb(n, k, b).with_a(1 << 16),
+            Measured::one(&report, secs),
+        ));
+    }
+
+    vec![pump, workloads, race, streaming]
 }

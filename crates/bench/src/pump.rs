@@ -170,6 +170,115 @@ pub fn pump_new(n: usize, k: usize, rounds: usize) -> PumpStats {
     stats
 }
 
+/// The sharded hot-loop shape `dr_sim` uses for multi-shard runs:
+/// per-recipient-shard heaps and slabs, drained through a time-window
+/// barrier. All events of the minimum tick are popped from every shard
+/// at once, merged by a single `sort_unstable` on the global sequence
+/// number, and served through a cursor — trading one large heap's
+/// per-pop sift cost for small per-shard heaps plus an almost-sorted
+/// merge. Pop order (and hence the checksum) is identical to
+/// [`pump_new`] by construction.
+pub fn pump_sharded(n: usize, k: usize, rounds: usize, shards: usize) -> PumpStats {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        at: u64,
+        seq: u64,
+        to: u32,
+        slot: u32,
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    struct Shard {
+        heap: BinaryHeap<Node>,
+        slots: Vec<Option<BitArray>>,
+        free: Vec<u32>,
+    }
+
+    let payload = BitArray::random(n, &mut StdRng::seed_from_u64(0x5ca1e));
+    let pending_nonfaulty = k;
+    let mut shard_state: Vec<Shard> = (0..shards)
+        .map(|_| Shard {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+        })
+        .collect();
+    let mut window: Vec<Node> = Vec::new();
+    let mut cursor = 0usize;
+    let mut seq = 0u64;
+    let mut stats = PumpStats {
+        events: 0,
+        checksum: 0,
+    };
+    for round in 0..rounds {
+        for sender in 0..k {
+            for j in 0..k - 1 {
+                let to = (sender + j + 1) % k;
+                let shard = &mut shard_state[to % shards];
+                let msg = payload.clone();
+                let slot = match shard.free.pop() {
+                    Some(s) => {
+                        shard.slots[s as usize] = Some(msg);
+                        s
+                    }
+                    None => {
+                        shard.slots.push(Some(msg));
+                        (shard.slots.len() - 1) as u32
+                    }
+                };
+                shard.heap.push(Node {
+                    at: round as u64,
+                    seq,
+                    to: to as u32,
+                    slot,
+                });
+                seq += 1;
+            }
+        }
+        loop {
+            // Serve the current window first, then refill it with every
+            // shard's events at the minimum tick, merged by seq.
+            if cursor >= window.len() {
+                window.clear();
+                cursor = 0;
+                let Some(min_at) = shard_state
+                    .iter()
+                    .filter_map(|s| s.heap.peek().map(|node| node.at))
+                    .min()
+                else {
+                    break;
+                };
+                for shard in &mut shard_state {
+                    while shard.heap.peek().is_some_and(|node| node.at == min_at) {
+                        window.push(shard.heap.pop().expect("peeked"));
+                    }
+                }
+                window.sort_unstable_by_key(|node| node.seq);
+            }
+            if pending_nonfaulty == 0 {
+                break;
+            }
+            let node = &window[cursor];
+            cursor += 1;
+            let shard = &mut shard_state[node.to as usize % shards];
+            let msg = shard.slots[node.slot as usize].take().expect("live slot");
+            shard.free.push(node.slot);
+            stats.checksum = fold(stats.checksum, msg.word(0), node.seq);
+            stats.events += 1;
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +289,8 @@ mod tests {
         let new = pump_new(512, 6, 3);
         assert_eq!(old, new);
         assert_eq!(old.events, pump_events(6, 3));
+        for shards in [1, 2, 4, 7] {
+            assert_eq!(pump_sharded(512, 6, 3, shards), new, "shards={shards}");
+        }
     }
 }

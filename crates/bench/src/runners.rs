@@ -83,11 +83,28 @@ pub fn run_crash_multi(
     early_release: bool,
     seed: u64,
 ) -> RunReport {
+    run_crash_multi_sharded(n, k, b, crashes, msg_bits, early_release, seed, 1)
+}
+
+/// [`run_crash_multi`] on the sharded event pump; `shards = 1` is the
+/// serial pump, and every shard count yields the same fingerprint.
+#[allow(clippy::too_many_arguments)]
+pub fn run_crash_multi_sharded(
+    n: usize,
+    k: usize,
+    b: usize,
+    crashes: usize,
+    msg_bits: usize,
+    early_release: bool,
+    seed: u64,
+    shards: usize,
+) -> RunReport {
     assert!(crashes <= b);
     let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
     let plan = CrashPlan::before_event(victims, 1 + seed % 3);
     let sim = SimBuilder::new(crash_params(n, k, b, msg_bits))
         .seed(seed)
+        .shards(shards)
         .protocol(move |_| {
             let p = CrashMultiDownload::new(n, k, b);
             if early_release {
@@ -101,12 +118,77 @@ pub fn run_crash_multi(
     verified(sim)
 }
 
+/// Algorithm 2 against a streaming [`ChunkedSource`] — the source is
+/// generated on demand from `source_seed` with at most `max_resident`
+/// chunks of `chunk_words` words in memory, so `n` may exceed RAM.
+/// Outputs are verified blockwise against an independently rebuilt
+/// source (same `(len, seed)` ⇒ same array), and the cache statistics
+/// of the run's own source are returned alongside the report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_crash_multi_streaming(
+    n: usize,
+    k: usize,
+    b: usize,
+    crashes: usize,
+    msg_bits: usize,
+    seed: u64,
+    source_seed: u64,
+    chunk_words: usize,
+    max_resident: usize,
+    shards: usize,
+) -> (RunReport, dr_core::ChunkStats) {
+    assert!(crashes <= b);
+    let source = std::sync::Arc::new(dr_core::ChunkedSource::with_geometry(
+        n,
+        source_seed,
+        chunk_words,
+        max_resident,
+    ));
+    let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
+    let plan = CrashPlan::before_event(victims, 1 + seed % 3);
+    let sim = SimBuilder::new(crash_params(n, k, b, msg_bits))
+        .seed(seed)
+        .shards(shards)
+        .streaming_source(source.clone())
+        .protocol(move |_| CrashMultiDownload::new(n, k, b))
+        .adversary(StandardAdversary::new(UniformDelay::new(), plan))
+        .build();
+    let report = sim.run().expect("run must terminate");
+    let stats = source.stats();
+    assert!(
+        stats.peak_resident <= max_resident,
+        "resident set exceeded its cap: {} > {max_resident}",
+        stats.peak_resident
+    );
+    // Verify against a fresh source with the same (len, seed): the
+    // verifier never touches the run's cache, and stays bounded itself.
+    let verifier = dr_core::ChunkedSource::with_geometry(n, source_seed, chunk_words, max_resident);
+    report
+        .verify_downloads_source(&verifier)
+        .expect("download specification violated");
+    (report, stats)
+}
+
 /// Deterministic committee protocol with `silent` of the `t` Byzantine
 /// peers instantiated as silent.
 pub fn run_committee(n: usize, k: usize, t: usize, silent: usize, seed: u64) -> RunReport {
+    run_committee_sharded(n, k, t, silent, seed, 1)
+}
+
+/// [`run_committee`] on the sharded event pump; `shards = 1` is the
+/// serial pump, and every shard count yields the same fingerprint.
+pub fn run_committee_sharded(
+    n: usize,
+    k: usize,
+    t: usize,
+    silent: usize,
+    seed: u64,
+    shards: usize,
+) -> RunReport {
     assert!(silent <= t);
     let mut builder = SimBuilder::new(byz_params(n, k, t))
         .seed(seed)
+        .shards(shards)
         .protocol(move |_| CommitteeDownload::new(n, k, t));
     for i in 0..silent {
         builder = builder.byzantine(PeerId(i), SilentAgent::new());
@@ -282,6 +364,26 @@ mod tests {
         run_committee(48, 7, 2, 2, 4);
         run_two_cycle(4096, 96, 12, ByzMix::Mixed, 5);
         run_multi_cycle(4096, 96, 8, ByzMix::Silent, 6);
+    }
+
+    #[test]
+    fn sharded_runners_match_serial_fingerprints() {
+        let serial = run_committee(48, 7, 2, 2, 4);
+        let sharded = run_committee_sharded(48, 7, 2, 2, 4, 3);
+        assert_eq!(serial.fingerprint(), sharded.fingerprint());
+        let serial = run_crash_multi(128, 8, 4, 3, 1024, false, 3);
+        let sharded = run_crash_multi_sharded(128, 8, 4, 3, 1024, false, 3, 5);
+        assert_eq!(serial.fingerprint(), sharded.fingerprint());
+    }
+
+    #[test]
+    fn streaming_runner_verifies_and_stays_bounded() {
+        // 16 chunks of 256 bits with a 4-chunk cache: plenty of eviction
+        // and regeneration traffic on the way to a verified download.
+        let (report, stats) = run_crash_multi_streaming(4096, 8, 2, 2, 1024, 3, 99, 4, 4, 2);
+        assert!(stats.peak_resident <= 4);
+        assert!(stats.evicted > 0, "cache never cycled: {stats:?}");
+        assert!(report.events > 0);
     }
 
     #[test]

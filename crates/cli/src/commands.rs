@@ -52,6 +52,16 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let protocol = args.get_or("protocol", "alg2");
     let mix = parse_mix(args.get_or("byz-mix", "silent"))?;
     let crashes: usize = args.num("crashes", b)?;
+    let shards: usize = args.num("shards", 1)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    if shards > 1 && matches!(protocol, "naive" | "alg1" | "two-cycle" | "multi-cycle") {
+        return Err(ArgError(format!(
+            "--shards is not supported for --protocol {protocol} \
+             (use balanced, alg2, alg2-early, or committee)"
+        )));
+    }
 
     let report = match protocol {
         "naive" => runners::run_naive(n, k, seed),
@@ -59,6 +69,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             let params = runners::crash_params(n, k, 0, msg_bits);
             let sim = dr_sim::SimBuilder::new(params)
                 .seed(seed)
+                .shards(shards)
                 .protocol(move |_| BalancedDownload::new(n, k))
                 .build();
             let input = sim.input().clone();
@@ -70,14 +81,16 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             r
         }
         "alg1" => runners::run_single_crash(n, k, seed, (crashes > 0).then_some(PeerId(0))),
-        "alg2" => runners::run_crash_multi(n, k, b, crashes, msg_bits, false, seed),
-        "alg2-early" => runners::run_crash_multi(n, k, b, crashes, msg_bits, true, seed),
-        "committee" => runners::run_committee(n, k, b, b, seed),
+        "alg2" => runners::run_crash_multi_sharded(n, k, b, crashes, msg_bits, false, seed, shards),
+        "alg2-early" => {
+            runners::run_crash_multi_sharded(n, k, b, crashes, msg_bits, true, seed, shards)
+        }
+        "committee" => runners::run_committee_sharded(n, k, b, b, seed, shards),
         "two-cycle" => runners::run_two_cycle(n, k, b, mix, seed),
         "multi-cycle" => runners::run_multi_cycle(n, k, b, mix, seed),
         other => return Err(ArgError(format!("unknown --protocol '{other}'"))),
     };
-    println!("protocol {protocol}: n={n} k={k} b={b} seed={seed}");
+    println!("protocol {protocol}: n={n} k={k} b={b} seed={seed} shards={shards}");
     print_report(&report, n);
     Ok(())
 }
@@ -89,10 +102,15 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     let b: usize = args.num("b", 1)?;
     let seed: u64 = args.num("seed", 1)?;
     let crashes: usize = args.num("crashes", b)?;
+    let shards: usize = args.num("shards", 1)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
     let params = runners::crash_params(n, k, b, 1024);
     let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
     let sim = dr_sim::SimBuilder::new(params)
         .seed(seed)
+        .shards(shards)
         .protocol(move |_| CrashMultiDownload::new(n, k, b))
         .adversary(dr_sim::StandardAdversary::new(
             dr_sim::UniformDelay::new(),

@@ -123,6 +123,29 @@ impl BitArray {
         BitArray::from_fn(bits.len(), |i| bits[i])
     }
 
+    /// Creates an array of `len` bits directly from packed 64-bit words
+    /// (bit `i` is bit `i % 64` of word `i / 64`). Unused high bits of the
+    /// last word are cleared, keeping the canonical-tail invariant that
+    /// `Eq`/`Hash`/`Ord` rely on. This is the zero-rearrangement path for
+    /// word-generating sources (see `ChunkedSource`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count does not match bit length {len}"
+        );
+        let mut out = BitArray {
+            len,
+            words: Arc::new(words),
+        };
+        out.mask_tail();
+        out
+    }
+
     /// Creates a uniformly random array using the given RNG.
     pub fn random(len: usize, rng: &mut impl Rng) -> Self {
         let mut out = BitArray::zeros(len);

@@ -1,0 +1,341 @@
+//! A streaming, generate-on-demand external data source.
+//!
+//! [`ArraySource`](crate::ArraySource) materializes all `n` bits in RAM,
+//! which caps simulated runs at whatever the host can hold. The paper's
+//! setting is the opposite regime — the input is *external* precisely
+//! because no single machine wants to store it — so billion-bit
+//! experiments need a source whose resident footprint is bounded and
+//! independent of `n`.
+//!
+//! [`ChunkedSource`] derives every 64-bit word of the array from a seed
+//! with a splitmix64-style finalizer, materializing words lazily in
+//! fixed-size chunks. A bounded FIFO cache keeps recently generated
+//! chunks resident; everything else is regenerated on demand. Because
+//! word values are pure functions of `(seed, word index)`, query results
+//! are identical regardless of cache geometry or access order — the
+//! static-data assumption holds by construction, and the same `(len,
+//! seed)` pair always denotes the same array (so a verifier can rebuild
+//! an equivalent source independently of the run it checks).
+//!
+//! The chunk size is a whole number of words, so chunk boundaries are
+//! word-aligned and the [`Source::bits`] override assembles word-level
+//! output (shift/mask across word boundaries) without per-bit loops —
+//! the same fast path [`ArraySource`](crate::ArraySource) uses.
+
+use crate::bits::BitArray;
+use crate::collections::DetMap;
+use crate::source::Source;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Default words per chunk (1024 words = 64 Kibit = 8 KiB per chunk).
+const DEFAULT_CHUNK_WORDS: usize = 1024;
+
+/// Default maximum resident chunks (64 × 8 KiB = 512 KiB resident).
+const DEFAULT_MAX_RESIDENT: usize = 64;
+
+/// Derives word `w` of the array from the seed: a splitmix64-style
+/// finalizer over the word index. Pure, so any two sources with equal
+/// `(seed, len)` agree on every bit forever.
+fn word_value(seed: u64, w: u64) -> u64 {
+    let mut z = seed ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Point-in-time cache statistics of a [`ChunkedSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Chunks generated so far (including regenerations after eviction).
+    pub generated: u64,
+    /// Chunks evicted so far.
+    pub evicted: u64,
+    /// Peak number of simultaneously resident chunks.
+    pub peak_resident: usize,
+    /// Chunks resident right now.
+    pub resident: usize,
+}
+
+struct ChunkCache {
+    /// Resident chunks, keyed by chunk index. Deterministic map: the
+    /// cache never influences results, but det-tier code stays free of
+    /// unordered iteration by policy.
+    chunks: DetMap<usize, Vec<u64>>,
+    /// Insertion order for FIFO eviction.
+    fifo: VecDeque<usize>,
+    generated: u64,
+    evicted: u64,
+    peak_resident: usize,
+}
+
+impl ChunkCache {
+    /// Reads global word `w`, generating (and possibly evicting) chunks
+    /// as needed.
+    fn word(&mut self, seed: u64, chunk_words: usize, max_resident: usize, w: usize) -> u64 {
+        let chunk = w / chunk_words;
+        if !self.chunks.contains_key(&chunk) {
+            // Make room first so residency never exceeds the cap, even
+            // transiently.
+            while self.chunks.len() >= max_resident {
+                let oldest = self.fifo.pop_front().expect("fifo tracks chunks");
+                self.chunks.remove(&oldest);
+                self.evicted += 1;
+            }
+            let base = (chunk * chunk_words) as u64;
+            let words: Vec<u64> = (0..chunk_words as u64)
+                .map(|i| word_value(seed, base + i))
+                .collect();
+            self.chunks.insert(chunk, words);
+            self.fifo.push_back(chunk);
+            self.generated += 1;
+            self.peak_resident = self.peak_resident.max(self.chunks.len());
+        }
+        self.chunks[&chunk][w % chunk_words]
+    }
+}
+
+/// A seeded source that generates word blocks on demand and keeps only a
+/// bounded set of chunks resident — `n` can exceed RAM by orders of
+/// magnitude. See the module docs for the determinism argument.
+pub struct ChunkedSource {
+    len: usize,
+    seed: u64,
+    chunk_words: usize,
+    max_resident: usize,
+    cache: Mutex<ChunkCache>,
+}
+
+impl ChunkedSource {
+    /// Creates a source of `len` bits derived from `seed`, with the
+    /// default geometry (8 KiB chunks, at most 64 resident).
+    pub fn new(len: usize, seed: u64) -> Self {
+        ChunkedSource::with_geometry(len, seed, DEFAULT_CHUNK_WORDS, DEFAULT_MAX_RESIDENT)
+    }
+
+    /// Creates a source with explicit geometry: `chunk_words` 64-bit
+    /// words per chunk and at most `max_resident` chunks cached. Results
+    /// are independent of the geometry — only generation/eviction
+    /// traffic changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_words` or `max_resident` is zero.
+    pub fn with_geometry(len: usize, seed: u64, chunk_words: usize, max_resident: usize) -> Self {
+        assert!(chunk_words >= 1, "chunk_words must be at least 1");
+        assert!(max_resident >= 1, "max_resident must be at least 1");
+        ChunkedSource {
+            len,
+            seed,
+            chunk_words,
+            max_resident,
+            cache: Mutex::new(ChunkCache {
+                chunks: DetMap::new(),
+                fifo: VecDeque::new(),
+                generated: 0,
+                evicted: 0,
+                peak_resident: 0,
+            }),
+        }
+    }
+
+    /// The seed this source derives its bits from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Maximum chunks the cache may keep resident.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Current cache statistics (generation, eviction, residency peaks).
+    pub fn stats(&self) -> ChunkStats {
+        let cache = self.cache.lock();
+        ChunkStats {
+            generated: cache.generated,
+            evicted: cache.evicted,
+            peak_resident: cache.peak_resident,
+            resident: cache.chunks.len(),
+        }
+    }
+
+    fn word_count(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+}
+
+impl std::fmt::Debug for ChunkedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedSource")
+            .field("len", &self.len)
+            .field("seed", &self.seed)
+            .field("chunk_words", &self.chunk_words)
+            .field("max_resident", &self.max_resident)
+            .finish()
+    }
+}
+
+impl Source for ChunkedSource {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bit(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
+        let mut cache = self.cache.lock();
+        let word = cache.word(self.seed, self.chunk_words, self.max_resident, index / 64);
+        word & (1 << (index % 64)) != 0
+    }
+
+    fn bits(&self, range: Range<usize>) -> BitArray {
+        assert!(
+            range.end <= self.len,
+            "bits {range:?} out of range {}",
+            self.len
+        );
+        let out_len = range.len();
+        let total_words = self.word_count();
+        let mut cache = self.cache.lock();
+        let mut src = |w: usize| {
+            if w < total_words {
+                cache.word(self.seed, self.chunk_words, self.max_resident, w)
+            } else {
+                0
+            }
+        };
+        let (w0, sh) = (range.start / 64, range.start % 64);
+        let words: Vec<u64> = (0..out_len.div_ceil(64))
+            .map(|r| {
+                // Word r of the output spans source words w0+r and w0+r+1
+                // unless the range is word-aligned (sh == 0).
+                let lo = src(w0 + r) >> sh;
+                if sh == 0 {
+                    lo
+                } else {
+                    lo | (src(w0 + r + 1) << (64 - sh))
+                }
+            })
+            .collect();
+        BitArray::from_words(out_len, words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The same array accessed through the per-bit default path, with no
+    /// caching — the semantic reference for `bits` overrides.
+    struct PerBitReference {
+        len: usize,
+        seed: u64,
+    }
+
+    impl Source for PerBitReference {
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn bit(&self, index: usize) -> bool {
+            word_value(self.seed, (index / 64) as u64) & (1 << (index % 64)) != 0
+        }
+    }
+
+    #[test]
+    fn bits_matches_per_bit_default() {
+        let n = 1000;
+        // Tiny chunks and a 2-chunk cache so ranges cross chunk
+        // boundaries and force evictions mid-range.
+        let src = ChunkedSource::with_geometry(n, 99, 4, 2);
+        let reference = PerBitReference { len: n, seed: 99 };
+        for range in [
+            0..n,
+            0..0,
+            0..64,
+            63..65,
+            7..999,
+            512..768,
+            999..1000,
+            250..260,
+        ] {
+            assert_eq!(
+                src.bits(range.clone()),
+                reference.bits(range.clone()),
+                "range {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bits_match_bulk_reads() {
+        let n = 300;
+        let src = ChunkedSource::with_geometry(n, 7, 2, 1);
+        let all = src.bits(0..n);
+        for i in 0..n {
+            assert_eq!(src.bit(i), all.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn results_independent_of_geometry() {
+        let n = 4096;
+        let a = ChunkedSource::with_geometry(n, 5, 1, 1);
+        let b = ChunkedSource::with_geometry(n, 5, 512, 64);
+        let c = ChunkedSource::new(n, 5);
+        assert_eq!(a.bits(0..n), b.bits(0..n));
+        assert_eq!(b.bits(0..n), c.bits(0..n));
+        // Access order must not matter either.
+        let d = ChunkedSource::with_geometry(n, 5, 8, 2);
+        let back = d.bits(2048..n);
+        let front = d.bits(0..2048);
+        let mut joined = BitArray::zeros(n);
+        joined.write_at(0, &front);
+        joined.write_at(2048, &back);
+        assert_eq!(joined, c.bits(0..n));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChunkedSource::new(256, 1);
+        let b = ChunkedSource::new(256, 2);
+        assert_ne!(a.bits(0..256), b.bits(0..256));
+    }
+
+    #[test]
+    fn residency_stays_bounded() {
+        let n = 64 * 4 * 100; // 100 chunks of 4 words
+        let src = ChunkedSource::with_geometry(n, 3, 4, 5);
+        let _ = src.bits(0..n);
+        let stats = src.stats();
+        assert!(stats.peak_resident <= 5, "peak {}", stats.peak_resident);
+        assert!(stats.resident <= 5);
+        assert_eq!(stats.generated, 100);
+        assert_eq!(stats.evicted, 95);
+    }
+
+    #[test]
+    fn regeneration_after_eviction_is_identical() {
+        let n = 64 * 2 * 8;
+        let src = ChunkedSource::with_geometry(n, 11, 2, 1);
+        let first = src.bits(0..128);
+        let _ = src.bits(n - 128..n); // evict the front chunks
+        let again = src.bits(0..128); // regenerate them
+        assert_eq!(first, again);
+        assert!(src.stats().evicted > 0);
+    }
+
+    #[test]
+    fn tail_word_is_masked() {
+        let src = ChunkedSource::new(70, 13);
+        let bits = src.bits(0..70);
+        assert_eq!(bits.len(), 70);
+        // Canonical tail: equal to a from_fn rebuild of the same bits.
+        let rebuilt = BitArray::from_fn(70, |i| src.bit(i));
+        assert_eq!(bits, rebuilt);
+    }
+}

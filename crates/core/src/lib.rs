@@ -22,6 +22,8 @@
 //! * [`Source`], [`ArraySource`], [`SharedSource`], [`SourceHandle`],
 //!   [`QueryMeter`] — the external source with per-peer query accounting
 //!   (the paper's query-complexity measure `Q`);
+//! * [`ChunkedSource`] — a streaming, generate-on-demand source with a
+//!   bounded resident set, for `n` far beyond RAM;
 //! * [`Assignment`] — the bit-to-peer responsibility function of the
 //!   crash-fault protocols (§2);
 //! * [`ModelParams`] — validated instance parameters (`n`, `k`, `b`, `a`);
@@ -48,6 +50,7 @@
 
 mod assignment;
 mod bits;
+mod chunked;
 pub mod collections;
 mod error;
 mod params;
@@ -58,6 +61,7 @@ mod source;
 
 pub use assignment::Assignment;
 pub use bits::{BitArray, PartialArray};
+pub use chunked::{ChunkStats, ChunkedSource};
 pub use error::InvalidParamsError;
 pub use params::{FaultModel, ModelParams, ModelParamsBuilder};
 pub use peer::{PeerId, PeerSet};

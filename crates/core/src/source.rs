@@ -66,6 +66,21 @@ impl Source for Box<dyn Source> {
     }
 }
 
+/// Shared sources: lets a caller hand a source to a consumer that wants
+/// ownership (e.g. a streaming simulation) while keeping a handle for
+/// post-run inspection (cache statistics, verification).
+impl<S: Source + ?Sized> Source for std::sync::Arc<S> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn bit(&self, index: usize) -> bool {
+        (**self).bit(index)
+    }
+    fn bits(&self, range: Range<usize>) -> BitArray {
+        (**self).bits(range)
+    }
+}
+
 /// The standard in-memory source backed by a [`BitArray`].
 #[derive(Debug, Clone)]
 pub struct ArraySource {

@@ -112,6 +112,47 @@ pub trait Adversary<M: ProtocolMessage>: Send {
     }
 }
 
+/// Boxed adversaries forward to their contents, so adversary choices can
+/// be made at runtime (a CLI flag, a property-test mix) and still be
+/// handed to [`SimBuilder::adversary`](crate::SimBuilder::adversary).
+impl<M: ProtocolMessage> Adversary<M> for Box<dyn Adversary<M>> {
+    fn start_offset(&mut self, peer: PeerId, rng: &mut StdRng) -> Ticks {
+        (**self).start_offset(peer, rng)
+    }
+
+    fn on_send(
+        &mut self,
+        view: &View<'_>,
+        from: PeerId,
+        to: PeerId,
+        msg: &M,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        (**self).on_send(view, from, to, msg, rng)
+    }
+
+    fn on_quiescence(&mut self, view: &View<'_>, held: &[HeldInfo]) -> Release {
+        (**self).on_quiescence(view, held)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        (**self).planned_crashes()
+    }
+
+    fn crash_before_event(&mut self, view: &View<'_>, peer: PeerId) -> bool {
+        (**self).crash_before_event(view, peer)
+    }
+
+    fn crash_during_send(
+        &mut self,
+        view: &View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
+        (**self).crash_during_send(view, peer, planned)
+    }
+}
+
 /// Metadata about a held message, exposed to [`Adversary::on_quiescence`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeldInfo {
@@ -344,7 +385,9 @@ impl<M: ProtocolMessage> Adversary<M> for StandardAdversary<M> {
     ) -> Option<usize> {
         // events_processed has already been incremented for the event whose
         // batch is being sent, so the current event index is the count - 1.
-        let event = view.status(peer).events_processed.saturating_sub(1);
+        // A zero count means the peer never took a step — it has no batch
+        // to cut, and must not be confused with "currently at event 0".
+        let event = view.status(peer).events_processed.checked_sub(1)?;
         self.crash_plan
             .find_during(peer, event)
             .map(|keep| keep.min(planned))
@@ -428,6 +471,30 @@ mod tests {
         assert!(adv.crash_before_event(&view_with(&peers), PeerId(0)));
         peers[0].events_processed = 2;
         assert!(!adv.crash_before_event(&view_with(&peers), PeerId(0)));
+    }
+
+    #[test]
+    fn during_send_never_fires_for_a_peer_that_never_ran() {
+        let mut plan = CrashPlan::none();
+        plan.push(CrashDirective {
+            peer: PeerId(0),
+            trigger: CrashTrigger::DuringSend { event: 0, keep: 0 },
+        });
+        let mut adv: StandardAdversary<Unit> = StandardAdversary::new(FixedDelay(7), plan);
+        let mut peers = vec![PeerStatus::new(PeerRole::Honest)];
+        // A zero event count means the peer never took a step. The old
+        // saturating subtraction aliased it with "currently at event 0"
+        // and cut a batch that does not exist.
+        assert_eq!(
+            adv.crash_during_send(&view_with(&peers), PeerId(0), 3),
+            None
+        );
+        // Once the count is 1, the peer really is sending event 0's batch.
+        peers[0].events_processed = 1;
+        assert_eq!(
+            adv.crash_during_send(&view_with(&peers), PeerId(0), 3),
+            Some(0)
+        );
     }
 
     #[test]

@@ -53,10 +53,13 @@ pub struct SimBuilder<M: ProtocolMessage> {
     seed: u64,
     input: Option<BitArray>,
     custom_source: Option<Box<dyn Source>>,
+    streaming_source: Option<Box<dyn Source>>,
     adversary: Option<Box<dyn Adversary<M>>>,
     factory: Option<AgentFactory<M>>,
     byzantine: Vec<(PeerId, Box<dyn Agent<M>>)>,
     max_events: u64,
+    shards: usize,
+    slab_capacity: u32,
     index_tracking: bool,
     trace: bool,
 }
@@ -69,10 +72,13 @@ impl<M: ProtocolMessage> SimBuilder<M> {
             seed: 0,
             input: None,
             custom_source: None,
+            streaming_source: None,
             adversary: None,
             factory: None,
             byzantine: Vec::new(),
             max_events: 50_000_000,
+            shards: 1,
+            slab_capacity: u32::MAX,
             index_tracking: false,
             trace: false,
         }
@@ -138,9 +144,52 @@ impl<M: ProtocolMessage> SimBuilder<M> {
         self
     }
 
+    /// Replaces the in-memory source with a [`Source`] that is *never*
+    /// materialized as a resident reference array — the whole point of
+    /// generate-on-demand sources like
+    /// [`ChunkedSource`](dr_core::ChunkedSource) at billion-bit `n`.
+    /// [`Simulation::input`] panics for such runs; verify outputs with
+    /// [`RunReport::verify_downloads_source`](crate::RunReport::verify_downloads_source)
+    /// against an equivalent source instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`build`](Self::build)) if the source length differs
+    /// from `params.n()`, or if [`input`](Self::input) /
+    /// [`source`](Self::source) was also set.
+    pub fn streaming_source(mut self, source: impl Source + 'static) -> Self {
+        self.streaming_source = Some(Box::new(source));
+        self
+    }
+
     /// Overrides the livelock guard (default: 50 million events).
     pub fn max_events(mut self, limit: u64) -> Self {
         self.max_events = limit;
+        self
+    }
+
+    /// Partitions peers across `shards` event queues and message slabs
+    /// advanced under a conservative time-window barrier (default: 1, the
+    /// serial pump). Any value produces a bit-identical execution — same
+    /// seed, same [`fingerprint`](crate::RunReport::fingerprint) — the
+    /// sharded layout trades one global heap for per-shard heaps merged a
+    /// tick-window at a time, which pays off on large runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shards must be at least 1");
+        self.shards = shards;
+        self
+    }
+
+    /// Caps every message slab at `capacity` payload slots (default:
+    /// `u32::MAX`). Exceeding the cap surfaces as
+    /// [`RunError::SlabOverflow`](crate::RunError::SlabOverflow) from
+    /// [`Simulation::run`] instead of aborting the process.
+    pub fn slab_capacity(mut self, capacity: u32) -> Self {
+        self.slab_capacity = capacity;
         self
     }
 
@@ -168,17 +217,32 @@ impl<M: ProtocolMessage> SimBuilder<M> {
     pub fn build(mut self) -> Simulation<M> {
         let k = self.params.k();
         let n = self.params.n();
-        let input = self.input.take().unwrap_or_else(|| {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1234_5678);
-            BitArray::random(n, &mut rng)
-        });
-        let source = match self.custom_source {
-            Some(custom) if self.index_tracking => SharedSource::with_index_tracking(custom, k),
-            Some(custom) => SharedSource::new(custom, k),
-            None if self.index_tracking => {
-                SharedSource::with_index_tracking(ArraySource::new(input.clone()), k)
-            }
-            None => SharedSource::new(ArraySource::new(input.clone()), k),
+        let (input, source) = if let Some(stream) = self.streaming_source.take() {
+            assert!(
+                self.input.is_none() && self.custom_source.is_none(),
+                "streaming_source is mutually exclusive with input/source"
+            );
+            assert_eq!(stream.len(), n, "streaming source length != n");
+            let source = if self.index_tracking {
+                SharedSource::with_index_tracking(stream, k)
+            } else {
+                SharedSource::new(stream, k)
+            };
+            (None, source)
+        } else {
+            let input = self.input.take().unwrap_or_else(|| {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1234_5678);
+                BitArray::random(n, &mut rng)
+            });
+            let source = match self.custom_source {
+                Some(custom) if self.index_tracking => SharedSource::with_index_tracking(custom, k),
+                Some(custom) => SharedSource::new(custom, k),
+                None if self.index_tracking => {
+                    SharedSource::with_index_tracking(ArraySource::new(input.clone()), k)
+                }
+                None => SharedSource::new(ArraySource::new(input.clone()), k),
+            };
+            (Some(input), source)
         };
         let mut factory = self.factory.expect("protocol factory not set");
         let mut byz_ids: Vec<usize> = self.byzantine.iter().map(|(p, _)| p.index()).collect();
@@ -219,6 +283,8 @@ impl<M: ProtocolMessage> SimBuilder<M> {
             adversary,
             self.seed,
             self.max_events,
+            self.shards,
+            self.slab_capacity,
         );
         if self.trace {
             sim.enable_trace();

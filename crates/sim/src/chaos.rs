@@ -70,7 +70,12 @@ impl<M: ProtocolMessage> Adversary<M> for AdaptiveCrasher {
             return false;
         }
         let st = view.status(peer);
-        if st.events_processed < self.min_events {
+        // A peer that never took a step is not a front-runner, whatever
+        // `min_events` says: with `min_events = 0` the all-zero frontier
+        // used to let the crasher spend budget on a peer that had learned
+        // nothing — crashing it destroys no progress and wastes the
+        // adaptive budget.
+        if st.events_processed == 0 || st.events_processed < self.min_events {
             return false;
         }
         // Only crash the current front-runner among live honest peers.
@@ -322,6 +327,30 @@ mod tests {
         ));
         // Budget spent: never again.
         assert!(!<AdaptiveCrasher as Adversary<Unit>>::crash_before_event(
+            &mut adv,
+            &view,
+            PeerId(0)
+        ));
+    }
+
+    #[test]
+    fn adaptive_crasher_spares_peer_that_never_ran() {
+        // min_events = 0 used to let the all-zero frontier nominate a peer
+        // that had not taken a single step (its pre-start event count of 0
+        // "matched" the frontier of 0), wasting the adaptive budget on a
+        // peer holding no progress. Never-ran peers are now never targets.
+        let mut adv = AdaptiveCrasher::new(1, 0);
+        let ps = peers(&[0, 0]);
+        let view = View { now: 0, peers: &ps };
+        assert!(!<AdaptiveCrasher as Adversary<Unit>>::crash_before_event(
+            &mut adv,
+            &view,
+            PeerId(0)
+        ));
+        // The budget is still intact for a peer that actually ran.
+        let ps = peers(&[1, 0]);
+        let view = View { now: 0, peers: &ps };
+        assert!(<AdaptiveCrasher as Adversary<Unit>>::crash_before_event(
             &mut adv,
             &view,
             PeerId(0)

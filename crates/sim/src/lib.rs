@@ -25,6 +25,7 @@ pub mod chaos;
 pub mod explore;
 mod report;
 mod schedule;
+mod shard;
 mod sim;
 mod time;
 mod trace;

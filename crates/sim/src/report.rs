@@ -2,7 +2,7 @@
 
 use crate::time::{ticks_to_units, Ticks};
 use crate::trace::TraceEntry;
-use dr_core::{BitArray, PeerId, PeerSet};
+use dr_core::{BitArray, PeerId, PeerSet, Source};
 use std::error::Error;
 use std::fmt;
 
@@ -21,6 +21,15 @@ pub enum RunError {
         /// The configured limit.
         limit: u64,
     },
+    /// A message slab hit its configured slot capacity (see
+    /// [`SimBuilder::slab_capacity`](crate::SimBuilder::slab_capacity)):
+    /// storing one more in-flight payload would have grown some slab past
+    /// `capacity` slots. Reported as an error so capacity-bounded runs
+    /// fail gracefully instead of aborting mid-pump.
+    SlabOverflow {
+        /// The per-slab slot capacity that was hit.
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -31,6 +40,9 @@ impl fmt::Display for RunError {
             }
             RunError::EventLimitExceeded { limit } => {
                 write!(f, "event limit {limit} exceeded (livelock?)")
+            }
+            RunError::SlabOverflow { capacity } => {
+                write!(f, "message slab overflow: slot capacity {capacity} reached")
             }
         }
     }
@@ -152,6 +164,49 @@ impl RunReport {
                             peer,
                             first_bad_index: i,
                         });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the Download specification against a [`Source`] directly,
+    /// comparing outputs block by block, so streaming runs (built with
+    /// [`streaming_source`](crate::SimBuilder::streaming_source)) can be
+    /// verified without ever materializing the full n-bit reference. Uses
+    /// the word-level [`Source::bits`] bulk path per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_downloads_source(&self, source: &dyn Source) -> Result<(), DownloadViolation> {
+        // Big enough to amortize per-block overhead, small enough that the
+        // resident verification window stays trivial (8 KiB per block).
+        const BLOCK_BITS: usize = 1 << 16;
+        let n = source.len();
+        for peer in self.nonfaulty.iter() {
+            match &self.outputs[peer.index()] {
+                None => return Err(DownloadViolation::MissingOutput { peer }),
+                Some(out) => {
+                    if out.len() != n {
+                        return Err(DownloadViolation::WrongOutput {
+                            peer,
+                            first_bad_index: out.len().min(n),
+                        });
+                    }
+                    let mut start = 0;
+                    while start < n {
+                        let end = (start + BLOCK_BITS).min(n);
+                        let expect = source.bits(start..end);
+                        let got = out.slice(start..end);
+                        if let Some(i) = got.first_difference(&expect) {
+                            return Err(DownloadViolation::WrongOutput {
+                                peer,
+                                first_bad_index: start + i,
+                            });
+                        }
+                        start = end;
                     }
                 }
             }

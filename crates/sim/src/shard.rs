@@ -1,0 +1,436 @@
+//! Event pumps: the serial and sharded queue/slab backends behind the
+//! simulator hot loop.
+//!
+//! [`EventPump`] owns the pending-event queue and the payload slabs for a
+//! run. The serial backend is one `BinaryHeap` plus one [`MsgSlab`] — the
+//! layout every golden fingerprint was recorded against. The sharded
+//! backend partitions peers across `s` shards (`shard(p) = p mod s`), each
+//! with its own heap and slab, and advances them under a conservative
+//! time-window barrier:
+//!
+//! * **Window.** All pending events sharing the minimum tick `T` form one
+//!   window. Message latencies are clamped to `1..=TICKS_PER_UNIT`, so an
+//!   event processed at tick `T` can only schedule events at `T + 1` or
+//!   later — the window is causally closed and can be drained from every
+//!   shard up front without missing a cross-shard send into it.
+//! * **Merge.** The drained window is sorted by the global `seq` stamp, so
+//!   events pop in exactly the `(at, seq)` order the serial heap produces.
+//! * **Same-tick appends.** The one exception to "new events land after
+//!   the window" is the pre-start flush, which re-enqueues buffered
+//!   messages at the *current* tick. Those pushes carry fresh `seq` stamps
+//!   larger than everything already drained, so appending them to the
+//!   active window keeps it sorted — checked by a debug assertion.
+//!
+//! Pop order therefore matches the serial pump event for event; adversary
+//! hooks, RNG draws, and every fingerprinted observable are bit-identical.
+//! Occupancy accounting (queue depth, live payloads, peaks) lives on the
+//! pump wrapper and counts globally, so the memory-pressure metrics also
+//! match the serial backend exactly.
+//!
+//! Slot lifecycle: every slab slot is owned by exactly one of a queued
+//! `Deliver` event, a held message, or a pre-start buffer entry; whichever
+//! path consumes or cancels the message frees the slot. The simulator
+//! asserts at the end of successful debug runs that no slot is left owned.
+
+use crate::time::Ticks;
+use dr_core::PeerId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Slot-indexed store for message payloads.
+///
+/// A hand-rolled slab: `insert` hands out a `u32` slot (recycling freed
+/// slots LIFO), `take` moves the payload out and frees the slot. Payloads
+/// stay put for their whole queued/held lifetime — only slot indices move
+/// through the event queue.
+pub(crate) struct MsgSlab<M> {
+    slots: Vec<Option<M>>,
+    free: Vec<u32>,
+}
+
+impl<M> MsgSlab<M> {
+    fn new() -> Self {
+        MsgSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores a payload, recycling a freed slot when one exists and
+    /// growing the slab otherwise. Fails (instead of panicking) when
+    /// growth would exceed `capacity` slots.
+    fn insert(&mut self, msg: M, capacity: u32) -> Result<u32, SlabOverflow> {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(msg);
+                Ok(slot)
+            }
+            None => {
+                if self.slots.len() >= capacity as usize {
+                    return Err(SlabOverflow { capacity });
+                }
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(msg));
+                Ok(slot)
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> M {
+        let msg = self.slots[slot as usize]
+            .take()
+            .expect("message slot already freed");
+        self.free.push(slot);
+        msg
+    }
+}
+
+/// A payload slab filled up: inserting one more message would grow some
+/// slab past its configured slot capacity. Surfaced through
+/// [`RunError::SlabOverflow`](crate::RunError::SlabOverflow) instead of
+/// aborting mid-pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlabOverflow {
+    /// The per-slab slot capacity that was hit.
+    pub capacity: u32,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum EventKind {
+    Start(PeerId),
+    Deliver { from: PeerId, to: PeerId, slot: u32 },
+}
+
+impl EventKind {
+    /// The peer an event steps (and whose shard owns any payload slot).
+    fn subject(self) -> PeerId {
+        match self {
+            EventKind::Start(p) => p,
+            EventKind::Deliver { to, .. } => to,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct QueuedEvent {
+    pub(crate) at: Ticks,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    // Reversed so that BinaryHeap pops the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One shard: a private event heap plus a private payload slab for the
+/// peers this shard owns.
+struct Shard<M> {
+    queue: BinaryHeap<QueuedEvent>,
+    slab: MsgSlab<M>,
+}
+
+/// The sharded backend state: per-shard heaps plus the active time window.
+struct Sharded<M> {
+    shards: Vec<Shard<M>>,
+    /// Events of the active window in ascending `seq` order; positions
+    /// before `cursor` have been popped.
+    window: Vec<QueuedEvent>,
+    cursor: usize,
+    /// Tick of the active window. Stays set after the window drains so a
+    /// same-tick push (pre-start flush) still lands in the window rather
+    /// than a shard heap.
+    window_at: Option<Ticks>,
+}
+
+impl<M> Sharded<M> {
+    fn shard_of(&self, peer: PeerId) -> usize {
+        peer.index() % self.shards.len()
+    }
+
+    fn push(&mut self, ev: QueuedEvent) {
+        match self.window_at {
+            Some(t) if ev.at == t => {
+                // Same-tick append (pre-start flush): `seq` stamps are
+                // globally monotonic, so the window stays sorted.
+                debug_assert!(
+                    self.window.last().is_none_or(|last| last.seq < ev.seq),
+                    "same-tick push out of seq order"
+                );
+                self.window.push(ev);
+            }
+            earlier => {
+                debug_assert!(
+                    earlier.is_none_or(|t| ev.at > t),
+                    "event scheduled before the active window (latency < 1?)"
+                );
+                let s = self.shard_of(ev.kind.subject());
+                self.shards[s].queue.push(ev);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent> {
+        if self.cursor < self.window.len() {
+            let ev = self.window[self.cursor];
+            self.cursor += 1;
+            return Some(ev);
+        }
+        // Refill: drain every shard's events at the global minimum tick
+        // into a fresh window, then merge by seq.
+        self.window.clear();
+        self.cursor = 0;
+        let t = self
+            .shards
+            .iter()
+            .filter_map(|s| s.queue.peek())
+            .map(|ev| ev.at)
+            .min()?;
+        self.window_at = Some(t);
+        for shard in &mut self.shards {
+            while shard.queue.peek().is_some_and(|ev| ev.at == t) {
+                self.window.push(shard.queue.pop().expect("peeked"));
+            }
+        }
+        self.window.sort_unstable_by_key(|ev| ev.seq);
+        self.cursor = 1;
+        Some(self.window[0])
+    }
+}
+
+enum Backend<M> {
+    Serial {
+        queue: BinaryHeap<QueuedEvent>,
+        slab: MsgSlab<M>,
+    },
+    Sharded(Sharded<M>),
+}
+
+/// The simulator's pending-event queue and payload store, in either the
+/// serial (one heap, one slab) or the sharded (per-shard heaps and slabs
+/// under a time-window barrier) layout. Both pop events in identical
+/// global `(at, seq)` order.
+pub(crate) struct EventPump<M> {
+    backend: Backend<M>,
+    /// Per-slab slot capacity; inserting past it yields [`SlabOverflow`].
+    capacity: u32,
+    queued: usize,
+    peak_queued: usize,
+    live: usize,
+    peak_live: usize,
+}
+
+impl<M> EventPump<M> {
+    /// Creates a pump with `shards` shards (1 = the serial layout) and a
+    /// per-slab slot capacity.
+    pub(crate) fn new(shards: usize, capacity: u32) -> Self {
+        assert!(shards >= 1, "a pump needs at least one shard");
+        let backend = if shards == 1 {
+            Backend::Serial {
+                queue: BinaryHeap::new(),
+                slab: MsgSlab::new(),
+            }
+        } else {
+            Backend::Sharded(Sharded {
+                shards: (0..shards)
+                    .map(|_| Shard {
+                        queue: BinaryHeap::new(),
+                        slab: MsgSlab::new(),
+                    })
+                    .collect(),
+                window: Vec::new(),
+                cursor: 0,
+                window_at: None,
+            })
+        };
+        EventPump {
+            backend,
+            capacity,
+            queued: 0,
+            peak_queued: 0,
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: QueuedEvent) {
+        match &mut self.backend {
+            Backend::Serial { queue, .. } => queue.push(ev),
+            Backend::Sharded(sharded) => sharded.push(ev),
+        }
+        self.queued += 1;
+        self.peak_queued = self.peak_queued.max(self.queued);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
+        let ev = match &mut self.backend {
+            Backend::Serial { queue, .. } => queue.pop(),
+            Backend::Sharded(sharded) => sharded.pop(),
+        };
+        if ev.is_some() {
+            self.queued -= 1;
+        }
+        ev
+    }
+
+    /// Stores a payload in the slab of the shard owning `owner` (the
+    /// destination peer for deliveries, holds, and pre-start buffers).
+    pub(crate) fn insert_payload(&mut self, owner: PeerId, msg: M) -> Result<u32, SlabOverflow> {
+        let slot = match &mut self.backend {
+            Backend::Serial { slab, .. } => slab.insert(msg, self.capacity)?,
+            Backend::Sharded(sharded) => {
+                let s = sharded.shard_of(owner);
+                sharded.shards[s].slab.insert(msg, self.capacity)?
+            }
+        };
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        Ok(slot)
+    }
+
+    /// Moves a payload out of `owner`'s shard slab, freeing the slot.
+    pub(crate) fn take_payload(&mut self, owner: PeerId, slot: u32) -> M {
+        self.live -= 1;
+        match &mut self.backend {
+            Backend::Serial { slab, .. } => slab.take(slot),
+            Backend::Sharded(sharded) => {
+                let s = sharded.shard_of(owner);
+                sharded.shards[s].slab.take(slot)
+            }
+        }
+    }
+
+    /// Payloads currently alive across all slabs (queued + held +
+    /// pre-start buffered).
+    pub(crate) fn live_payloads(&self) -> usize {
+        self.live
+    }
+
+    /// Peak queue occupancy over the run (all shards combined).
+    pub(crate) fn peak_queued(&self) -> usize {
+        self.peak_queued
+    }
+
+    /// Peak live payloads over the run (all slabs combined).
+    pub(crate) fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Ticks, seq: u64, peer: usize) -> QueuedEvent {
+        QueuedEvent {
+            at,
+            seq,
+            kind: EventKind::Start(PeerId(peer)),
+        }
+    }
+
+    fn drain_order(pump: &mut EventPump<()>) -> Vec<(Ticks, u64)> {
+        std::iter::from_fn(|| pump.pop())
+            .map(|e| (e.at, e.seq))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_pops_in_global_at_seq_order() {
+        for shards in [1, 2, 3, 7] {
+            let mut pump: EventPump<()> = EventPump::new(shards, u32::MAX);
+            // Interleave peers and ticks in a scrambled push order.
+            let pushes = [
+                (5, 0, 0),
+                (1, 1, 3),
+                (5, 2, 1),
+                (1, 3, 2),
+                (9, 4, 5),
+                (1, 5, 4),
+                (5, 6, 6),
+            ];
+            for (at, seq, peer) in pushes {
+                pump.push(ev(at, seq, peer));
+            }
+            assert_eq!(
+                drain_order(&mut pump),
+                vec![(1, 1), (1, 3), (1, 5), (5, 0), (5, 2), (5, 6), (9, 4)],
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_tick_push_lands_in_active_window() {
+        let mut pump: EventPump<()> = EventPump::new(3, u32::MAX);
+        pump.push(ev(4, 0, 0));
+        pump.push(ev(4, 1, 1));
+        pump.push(ev(7, 2, 2));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(0));
+        // Mid-window push at the same tick (the pre-start flush shape).
+        pump.push(ev(4, 3, 2));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(1));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(3));
+        // Push at the window tick after the window drained but before the
+        // next refill — still ahead of the tick-7 event.
+        pump.push(ev(4, 4, 1));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(4));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(2));
+        assert!(pump.pop().is_none());
+    }
+
+    #[test]
+    fn payloads_route_to_owner_shard() {
+        let mut pump: EventPump<&'static str> = EventPump::new(4, u32::MAX);
+        let a = pump.insert_payload(PeerId(1), "one").unwrap();
+        let b = pump.insert_payload(PeerId(5), "five").unwrap();
+        // Peers 1 and 5 share shard 1 of 4; distinct slots in one slab.
+        assert_ne!(a, b);
+        let c = pump.insert_payload(PeerId(2), "two").unwrap();
+        assert_eq!(pump.live_payloads(), 3);
+        assert_eq!(pump.take_payload(PeerId(5), b), "five");
+        assert_eq!(pump.take_payload(PeerId(1), a), "one");
+        assert_eq!(pump.take_payload(PeerId(2), c), "two");
+        assert_eq!(pump.live_payloads(), 0);
+        assert_eq!(pump.peak_live(), 3);
+    }
+
+    #[test]
+    fn slab_capacity_overflows_structuredly() {
+        let mut pump: EventPump<u8> = EventPump::new(1, 2);
+        let a = pump.insert_payload(PeerId(0), 1).unwrap();
+        let _b = pump.insert_payload(PeerId(0), 2).unwrap();
+        assert_eq!(
+            pump.insert_payload(PeerId(0), 3),
+            Err(SlabOverflow { capacity: 2 })
+        );
+        // Freeing a slot makes room again (recycled, not grown).
+        assert_eq!(pump.take_payload(PeerId(0), a), 1);
+        assert!(pump.insert_payload(PeerId(0), 4).is_ok());
+    }
+
+    #[test]
+    fn queue_peaks_count_globally() {
+        let mut pump: EventPump<()> = EventPump::new(2, u32::MAX);
+        for seq in 0..6 {
+            pump.push(ev(1 + seq, seq, seq as usize));
+        }
+        assert_eq!(pump.peak_queued(), 6);
+        while pump.pop().is_some() {}
+        assert_eq!(pump.peak_queued(), 6);
+    }
+}

@@ -18,18 +18,21 @@
 //! # Hot-loop layout
 //!
 //! Message payloads never live inside heap nodes. Every in-flight or held
-//! payload sits in a [`MsgSlab`] and is addressed by a `u32` slot, so
-//! [`QueuedEvent`] is a small `Copy` struct and `BinaryHeap` sifts move a
-//! handful of words instead of whole `BitArray`s. Each slot is owned by
-//! exactly one of: a queued `Deliver` event, a held message, or a pre-start
-//! buffer entry; whichever path consumes or drops the message frees the
-//! slot. Combined with the copy-on-write `BitArray` buffer, a k-recipient
-//! broadcast of an n-bit payload costs O(k) reference bumps, not O(k·n)
-//! copied bits.
+//! payload sits in a slab (see the `shard` module) and is addressed by a
+//! `u32` slot, so a queued event is a small `Copy` struct and heap sifts
+//! move a handful of words instead of whole `BitArray`s. Each slot is
+//! owned by exactly one of: a queued `Deliver` event, a held message, or a
+//! pre-start buffer entry; whichever path consumes or drops the message
+//! frees the slot. Combined with the copy-on-write `BitArray` buffer, a
+//! k-recipient broadcast of an n-bit payload costs O(k) reference bumps,
+//! not O(k·n) copied bits. The queue/slab pair itself comes in a serial
+//! and a sharded flavour behind [`EventPump`] — see `shard.rs` for the
+//! window-barrier determinism argument.
 
 use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
 use crate::agent::Agent;
 use crate::report::{RunError, RunReport};
+use crate::shard::{EventKind, EventPump, QueuedEvent};
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::trace::TraceEntry;
 use crate::view::{PeerRole, PeerStatus, View};
@@ -38,89 +41,6 @@ use dr_core::{
 };
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Slot-indexed store for message payloads.
-///
-/// A hand-rolled slab: `insert` hands out a `u32` slot (recycling freed
-/// slots LIFO), `take` moves the payload out and frees the slot. Payloads
-/// stay put for their whole queued/held lifetime — only slot indices move
-/// through the event queue.
-struct MsgSlab<M> {
-    slots: Vec<Option<M>>,
-    free: Vec<u32>,
-    live: usize,
-    peak: usize,
-}
-
-impl<M> MsgSlab<M> {
-    fn new() -> Self {
-        MsgSlab {
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-            peak: 0,
-        }
-    }
-
-    fn insert(&mut self, msg: M) -> u32 {
-        self.live += 1;
-        self.peak = self.peak.max(self.live);
-        match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.slots[slot as usize].is_none());
-                self.slots[slot as usize] = Some(msg);
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.slots.len()).expect("message slab overflow");
-                self.slots.push(Some(msg));
-                slot
-            }
-        }
-    }
-
-    fn take(&mut self, slot: u32) -> M {
-        self.live -= 1;
-        let msg = self.slots[slot as usize]
-            .take()
-            .expect("message slot already freed");
-        self.free.push(slot);
-        msg
-    }
-}
-
-#[derive(Clone, Copy)]
-enum EventKind {
-    Start(PeerId),
-    Deliver { from: PeerId, to: PeerId, slot: u32 },
-}
-
-#[derive(Clone, Copy)]
-struct QueuedEvent {
-    at: Ticks,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    // Reversed so that BinaryHeap pops the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
 
 struct HeldMessage {
     from: PeerId,
@@ -170,7 +90,9 @@ impl<M: ProtocolMessage> Context<M> for SimCtx<'_, M> {
 /// Construct through [`SimBuilder`](crate::SimBuilder).
 pub struct Simulation<M: ProtocolMessage> {
     pub(crate) params: ModelParams,
-    pub(crate) input: BitArray,
+    /// Resident reference copy of the source (absent for streaming runs
+    /// built with `SimBuilder::streaming_source`).
+    pub(crate) input: Option<BitArray>,
     pub(crate) source: SharedSource,
     pub(crate) agents: Vec<Box<dyn Agent<M>>>,
     pub(crate) status: Vec<PeerStatus>,
@@ -179,8 +101,7 @@ pub struct Simulation<M: ProtocolMessage> {
     pub(crate) adv_rng: StdRng,
     pub(crate) max_events: u64,
     handles: Vec<SourceHandle>,
-    queue: BinaryHeap<QueuedEvent>,
-    slab: MsgSlab<M>,
+    pump: EventPump<M>,
     held: Vec<HeldMessage>,
     /// Messages that arrived at a peer before its start event, waiting
     /// for it to begin (a peer cannot take a step before it starts).
@@ -203,7 +124,6 @@ pub struct Simulation<M: ProtocolMessage> {
     message_bits: u64,
     events: u64,
     quiescence_releases: u64,
-    peak_queue_len: u64,
     trace: Option<Vec<TraceEntry>>,
 }
 
@@ -212,13 +132,15 @@ impl<M: ProtocolMessage> Simulation<M> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         params: ModelParams,
-        input: BitArray,
+        input: Option<BitArray>,
         source: SharedSource,
         agents: Vec<Box<dyn Agent<M>>>,
         roles: Vec<PeerRole>,
         adversary: Box<dyn Adversary<M>>,
         seed: u64,
         max_events: u64,
+        shards: usize,
+        slab_capacity: u32,
     ) -> Self {
         let k = params.k();
         let handles = (0..k).map(|p| source.handle(PeerId(p))).collect();
@@ -253,8 +175,7 @@ impl<M: ProtocolMessage> Simulation<M> {
             adv_rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
             max_events,
             handles,
-            queue: BinaryHeap::new(),
-            slab: MsgSlab::new(),
+            pump: EventPump::new(shards, slab_capacity),
             held: Vec::new(),
             pre_start: (0..k).map(|_| Vec::new()).collect(),
             // Nobody has crashed or terminated yet, so every honest peer
@@ -269,7 +190,6 @@ impl<M: ProtocolMessage> Simulation<M> {
             message_bits: 0,
             events: 0,
             quiescence_releases: 0,
-            peak_queue_len: 0,
             trace: None,
         }
     }
@@ -285,8 +205,17 @@ impl<M: ProtocolMessage> Simulation<M> {
     }
 
     /// The input array this run downloads (for verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics for runs built with
+    /// [`streaming_source`](crate::SimBuilder::streaming_source), which
+    /// deliberately never materialize the input; verify those with
+    /// [`RunReport::verify_downloads_source`](crate::RunReport::verify_downloads_source).
     pub fn input(&self) -> &BitArray {
-        &self.input
+        self.input
+            .as_ref()
+            .expect("streaming run keeps no resident input; verify against the source")
     }
 
     /// Model parameters of this run.
@@ -297,8 +226,7 @@ impl<M: ProtocolMessage> Simulation<M> {
     fn push_event(&mut self, at: Ticks, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { at, seq, kind });
-        self.peak_queue_len = self.peak_queue_len.max(self.queue.len() as u64);
+        self.pump.push(QueuedEvent { at, seq, kind });
     }
 
     fn crash(&mut self, peer: PeerId) {
@@ -323,6 +251,19 @@ impl<M: ProtocolMessage> Simulation<M> {
         st.crashed = true;
         let now = self.now;
         self.record(TraceEntry::Crash { at: now, peer });
+        // A crashed peer never starts, so anything parked in its pre-start
+        // buffer can never be delivered or dropped through the normal
+        // paths — free those slots now instead of leaking them for the
+        // rest of the run.
+        let waiting = std::mem::take(&mut self.pre_start[peer.index()]);
+        for (from, slot) in waiting {
+            drop(self.pump.take_payload(peer, slot));
+            self.record(TraceEntry::Drop {
+                at: now,
+                from,
+                to: peer,
+            });
+        }
     }
 
     fn all_nonfaulty_terminated(&self) -> bool {
@@ -334,7 +275,12 @@ impl<M: ProtocolMessage> Simulation<M> {
     /// Charges and schedules the outgoing batch of one step, applying the
     /// adversary's mid-send crash cut if any. Consumes (and hands back)
     /// the step outbox left in `outbox_scratch` by `process_event`.
-    fn dispatch_outbox(&mut self, peer: PeerId) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::SlabOverflow`] if storing a payload would grow
+    /// a message slab past its configured capacity.
+    fn dispatch_outbox(&mut self, peer: PeerId) -> Result<(), RunError> {
         let mut outbox = std::mem::take(&mut self.outbox_scratch);
         if !self.status[peer.index()].crashed {
             let cut = {
@@ -362,15 +308,13 @@ impl<M: ProtocolMessage> Simulation<M> {
             status,
             adversary,
             adv_rng,
-            queue,
-            slab,
+            pump,
             held,
             seq,
             now,
             messages_sent,
             message_bits,
             trace,
-            peak_queue_len,
             ..
         } = self;
         let view = View {
@@ -390,10 +334,14 @@ impl<M: ProtocolMessage> Simulation<M> {
                     let latency = latency.clamp(1, TICKS_PER_UNIT);
                     let transmission = (packets - 1) * TICKS_PER_UNIT;
                     let at = *now + latency + transmission;
-                    let slot = slab.insert(msg);
+                    let slot =
+                        pump.insert_payload(to, msg)
+                            .map_err(|e| RunError::SlabOverflow {
+                                capacity: e.capacity,
+                            })?;
                     let s = *seq;
                     *seq += 1;
-                    queue.push(QueuedEvent {
+                    pump.push(QueuedEvent {
                         at,
                         seq: s,
                         kind: EventKind::Deliver {
@@ -402,7 +350,6 @@ impl<M: ProtocolMessage> Simulation<M> {
                             slot,
                         },
                     });
-                    *peak_queue_len = (*peak_queue_len).max(queue.len() as u64);
                 }
                 Delivery::Hold => {
                     if let Some(trace) = trace {
@@ -412,7 +359,11 @@ impl<M: ProtocolMessage> Simulation<M> {
                             to,
                         });
                     }
-                    let slot = slab.insert(msg);
+                    let slot =
+                        pump.insert_payload(to, msg)
+                            .map_err(|e| RunError::SlabOverflow {
+                                capacity: e.capacity,
+                            })?;
                     held.push(HeldMessage {
                         from: peer,
                         to,
@@ -425,6 +376,7 @@ impl<M: ProtocolMessage> Simulation<M> {
         }
         // Hand the (drained) buffer back for the next step.
         self.outbox_scratch = outbox;
+        Ok(())
     }
 
     /// Delivers one event to a peer, running its handler. The produced
@@ -439,7 +391,7 @@ impl<M: ProtocolMessage> Simulation<M> {
         let st = &self.status[to.index()];
         if st.crashed || st.terminated {
             if let EventKind::Deliver { from, to, slot } = kind {
-                drop(self.slab.take(slot));
+                drop(self.pump.take_payload(to, slot));
                 let at = self.now;
                 self.record(TraceEntry::Drop { at, from, to });
             }
@@ -469,7 +421,7 @@ impl<M: ProtocolMessage> Simulation<M> {
             if crash_now {
                 self.crash(to);
                 if let EventKind::Deliver { slot, .. } = kind {
-                    drop(self.slab.take(slot));
+                    drop(self.pump.take_payload(to, slot));
                 }
                 return None;
             }
@@ -486,7 +438,7 @@ impl<M: ProtocolMessage> Simulation<M> {
                 None
             }
             EventKind::Deliver { from, slot, .. } => {
-                let msg = self.slab.take(slot);
+                let msg = self.pump.take_payload(to, slot);
                 let (at, bits) = (self.now, msg.bit_len());
                 self.record(TraceEntry::Deliver { at, from, to, bits });
                 Some((from, msg))
@@ -540,8 +492,10 @@ impl<M: ProtocolMessage> Simulation<M> {
     ///
     /// Returns [`RunError::Deadlock`] if every queue drains while a
     /// nonfaulty peer is still waiting (the protocols in the paper are
-    /// proven never to reach this state), or
-    /// [`RunError::EventLimitExceeded`] if the livelock guard trips.
+    /// proven never to reach this state),
+    /// [`RunError::EventLimitExceeded`] if the livelock guard trips, or
+    /// [`RunError::SlabOverflow`] if a payload slab hits its configured
+    /// slot capacity.
     pub fn run(mut self) -> Result<RunReport, RunError> {
         // The adversary decides when every peer starts (no simultaneous
         // start assumption).
@@ -565,11 +519,11 @@ impl<M: ProtocolMessage> Simulation<M> {
                     limit: self.max_events,
                 });
             }
-            match self.queue.pop() {
+            match self.pump.pop() {
                 Some(ev) => {
                     self.now = self.now.max(ev.at);
                     if let Some(peer) = self.process_event(ev.kind) {
-                        self.dispatch_outbox(peer);
+                        self.dispatch_outbox(peer)?;
                     }
                 }
                 None => {
@@ -589,7 +543,45 @@ impl<M: ProtocolMessage> Simulation<M> {
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        self.assert_no_leaked_slots();
         Ok(self.into_report())
+    }
+
+    /// Debug-build invariant: at the end of a successful run every slab
+    /// slot is owned by a still-pending queue event, held message, or
+    /// pre-start buffer entry — after draining those, zero payloads may
+    /// remain live. Catches lifecycle leaks (e.g. slots stranded by a
+    /// cancelled delivery) that release builds would silently accumulate.
+    #[cfg(debug_assertions)]
+    fn assert_no_leaked_slots(&mut self) {
+        for (i, st) in self.status.iter().enumerate() {
+            if st.crashed {
+                assert!(
+                    self.pre_start[i].is_empty(),
+                    "slab leak: crashed peer {i} still owns pre-start slots"
+                );
+            }
+        }
+        while let Some(ev) = self.pump.pop() {
+            if let EventKind::Deliver { to, slot, .. } = ev.kind {
+                drop(self.pump.take_payload(to, slot));
+            }
+        }
+        for h in self.held.drain(..) {
+            drop(self.pump.take_payload(h.to, h.slot));
+        }
+        let buffers = std::mem::take(&mut self.pre_start);
+        for (i, buf) in buffers.into_iter().enumerate() {
+            for (_, slot) in buf {
+                drop(self.pump.take_payload(PeerId(i), slot));
+            }
+        }
+        assert_eq!(
+            self.pump.live_payloads(),
+            0,
+            "slab leak: payload slots live with no owner at end of run"
+        );
     }
 
     fn release_held(&mut self) {
@@ -686,8 +678,8 @@ impl<M: ProtocolMessage> Simulation<M> {
             virtual_time_ticks: self.now,
             events: self.events,
             quiescence_releases: self.quiescence_releases,
-            peak_queue_len: self.peak_queue_len,
-            peak_slab_len: self.slab.peak as u64,
+            peak_queue_len: self.pump.peak_queued() as u64,
+            peak_slab_len: self.pump.peak_live() as u64,
             trace: self.trace,
         }
     }

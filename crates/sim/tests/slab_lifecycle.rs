@@ -1,0 +1,306 @@
+//! Slab-lifecycle regressions: slot ownership across crashes, the
+//! capacity error path, and the adaptive crasher's pre-start behavior.
+//!
+//! Debug builds end every successful run with the simulator's
+//! no-leaked-slots audit (every payload slot must be owned by a queued
+//! delivery, a held message, or a pre-start buffer entry), so simply
+//! driving these scenarios to completion is itself the regression check.
+
+use dr_core::{BitArray, Context, FaultModel, ModelParams, PeerId, Protocol, ProtocolMessage};
+use dr_sim::{
+    AdaptiveCrasher, Adversary, ChaosAdversary, ChaosConfig, Delivery, RunError, SimBuilder, Ticks,
+    TICKS_PER_UNIT,
+};
+use rand::rngs::StdRng;
+
+/// A fixed-size ping; its only job is to occupy a slab slot.
+#[derive(Debug, Clone)]
+struct Ping;
+
+impl ProtocolMessage for Ping {
+    fn bit_len(&self) -> usize {
+        8
+    }
+}
+
+/// Crash-resilient protocol: every peer downloads the whole input itself
+/// and terminates on its start step, after broadcasting a ping to every
+/// other peer. No peer depends on any other, so runs complete no matter
+/// who crashes — while the pings exercise every slot-lifecycle path
+/// (in-flight, held, pre-start-buffered, dropped-at-crash).
+struct Solo {
+    out: Option<BitArray>,
+}
+
+impl Protocol for Solo {
+    type Msg = Ping;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Ping>) {
+        let n = ctx.input_len();
+        let bits = ctx.query_range(0..n);
+        ctx.broadcast(Ping);
+        self.out = Some(bits);
+    }
+
+    fn on_message(&mut self, _from: PeerId, _msg: Ping, _ctx: &mut dyn Context<Ping>) {}
+
+    fn output(&self) -> Option<&BitArray> {
+        self.out.as_ref()
+    }
+}
+
+/// Starts the victim almost a full unit after everyone else (so pings
+/// pile up in its pre-start buffer) and crashes it at its start event —
+/// before it ever takes a step. The regression: those buffered pings'
+/// slab slots used to leak at the crash.
+struct CrashVictimAtStart {
+    victim: PeerId,
+}
+
+impl<M: ProtocolMessage> Adversary<M> for CrashVictimAtStart {
+    fn start_offset(&mut self, peer: PeerId, _rng: &mut StdRng) -> Ticks {
+        if peer == self.victim {
+            TICKS_PER_UNIT - 1
+        } else {
+            peer.index() as Ticks
+        }
+    }
+
+    fn on_send(
+        &mut self,
+        _view: &dr_sim::View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _msg: &M,
+        _rng: &mut StdRng,
+    ) -> Delivery {
+        Delivery::After(1)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn crash_before_event(&mut self, _view: &dr_sim::View<'_>, peer: PeerId) -> bool {
+        peer == self.victim
+    }
+}
+
+/// Fully deterministic benign schedule: indexed start offsets, unit
+/// latency, no crashes.
+struct DetBenign;
+
+impl<M: ProtocolMessage> Adversary<M> for DetBenign {
+    fn start_offset(&mut self, peer: PeerId, _rng: &mut StdRng) -> Ticks {
+        peer.index() as Ticks
+    }
+
+    fn on_send(
+        &mut self,
+        _view: &dr_sim::View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _msg: &M,
+        _rng: &mut StdRng,
+    ) -> Delivery {
+        Delivery::After(1)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(0)
+    }
+}
+
+/// Holds one peer's start late (messages accumulate pre-start) while an
+/// inner adversary makes all other decisions.
+struct LateStart<A> {
+    victim: PeerId,
+    inner: A,
+}
+
+impl<M: ProtocolMessage, A: Adversary<M>> Adversary<M> for LateStart<A> {
+    fn start_offset(&mut self, peer: PeerId, _rng: &mut StdRng) -> Ticks {
+        if peer == self.victim {
+            TICKS_PER_UNIT - 1
+        } else {
+            peer.index() as Ticks
+        }
+    }
+
+    fn on_send(
+        &mut self,
+        view: &dr_sim::View<'_>,
+        from: PeerId,
+        to: PeerId,
+        msg: &M,
+        rng: &mut StdRng,
+    ) -> Delivery {
+        self.inner.on_send(view, from, to, msg, rng)
+    }
+
+    fn on_quiescence(
+        &mut self,
+        view: &dr_sim::View<'_>,
+        held: &[dr_sim::HeldInfo],
+    ) -> dr_sim::Release {
+        self.inner.on_quiescence(view, held)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        self.inner.planned_crashes()
+    }
+
+    fn crash_before_event(&mut self, view: &dr_sim::View<'_>, peer: PeerId) -> bool {
+        self.inner.crash_before_event(view, peer)
+    }
+
+    fn crash_during_send(
+        &mut self,
+        view: &dr_sim::View<'_>,
+        peer: PeerId,
+        planned: usize,
+    ) -> Option<usize> {
+        self.inner.crash_during_send(view, peer, planned)
+    }
+}
+
+fn crash_params(n: usize, k: usize, b: usize) -> ModelParams {
+    ModelParams::builder(n, k)
+        .faults(FaultModel::Crash, b)
+        .build()
+        .unwrap()
+}
+
+/// The held-at-start leak: a peer with pings waiting in its pre-start
+/// buffer crashes before its first step. Its buffered slots must be
+/// freed at the crash — the debug no-leak audit at end of run fails
+/// otherwise. Swept across serial and sharded pumps.
+#[test]
+fn crash_before_start_frees_buffered_slots() {
+    let (n, k) = (64, 5);
+    let victim = PeerId(k - 1);
+    for shards in [1usize, 2, 3] {
+        let sim = SimBuilder::new(crash_params(n, k, 1))
+            .seed(7)
+            .shards(shards)
+            .protocol(move |_| Solo { out: None })
+            .adversary(CrashVictimAtStart { victim })
+            .build();
+        let report = sim
+            .run()
+            .expect("solo peers terminate regardless of the crash");
+        assert!(report.crashed.contains(victim), "shards={shards}");
+        for p in 0..k - 1 {
+            assert!(
+                report.outputs[p].is_some(),
+                "honest peer {p} missing output (shards={shards})"
+            );
+        }
+        // The victim never ran: it holds no output and took no queries.
+        assert!(report.outputs[victim.index()].is_none());
+        assert_eq!(report.query_counts[victim.index()], 0);
+    }
+}
+
+/// Chaos campaign over the full lifecycle: random crashes (including
+/// before-start), mid-send cuts, and holds, across seeds and shard
+/// counts. Every run must complete and pass the debug no-leak audit.
+#[test]
+fn chaos_campaign_leaks_no_slots() {
+    let (n, k, b) = (64, 8, 3);
+    let cfg = ChaosConfig {
+        crash_budget: b,
+        crash_prob: 0.5,
+        cut_prob: 0.25,
+        hold_prob: 0.4,
+        partial_release_prob: 0.5,
+    };
+    for seed in 0..12u64 {
+        for shards in [1usize, 4] {
+            let sim = SimBuilder::new(crash_params(n, k, b))
+                .seed(seed)
+                .shards(shards)
+                .protocol(move |_| Solo { out: None })
+                .adversary(ChaosAdversary::new(seed, cfg))
+                .build();
+            let report = sim
+                .run()
+                .unwrap_or_else(|e| panic!("seed={seed} shards={shards}: {e}"));
+            assert!(report.crashed.len() <= b, "seed={seed} shards={shards}");
+        }
+    }
+}
+
+/// A slab capped at 2 slots cannot hold the 3-ping broadcast batch of
+/// the first peer to start: the run must surface the structured
+/// overflow error instead of panicking mid-pump.
+#[test]
+fn tiny_slab_capacity_is_a_structured_error() {
+    let sim = SimBuilder::new(ModelParams::fault_free(64, 4).unwrap())
+        .seed(3)
+        .slab_capacity(2)
+        .protocol(move |_| Solo { out: None })
+        .adversary(DetBenign)
+        .build();
+    match sim.run() {
+        Err(RunError::SlabOverflow { capacity }) => assert_eq!(capacity, 2),
+        other => panic!("expected slab overflow, got {other:?}"),
+    }
+}
+
+/// Per-shard slabs enforce the cap independently: two of peer 0's three
+/// pings land in the same shard, overflowing a 1-slot cap.
+#[test]
+fn sharded_slab_capacity_is_enforced_per_shard() {
+    let sim = SimBuilder::new(ModelParams::fault_free(64, 4).unwrap())
+        .seed(3)
+        .shards(2)
+        .slab_capacity(1)
+        .protocol(move |_| Solo { out: None })
+        .adversary(DetBenign)
+        .build();
+    match sim.run() {
+        Err(RunError::SlabOverflow { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected slab overflow, got {other:?}"),
+    }
+}
+
+/// An ample capacity is never hit: the same run that overflows at 2
+/// slots completes untouched at 16 (slots are recycled after delivery,
+/// so the cap bounds concurrent payloads, not total traffic).
+#[test]
+fn ample_slab_capacity_never_trips() {
+    let sim = SimBuilder::new(ModelParams::fault_free(64, 4).unwrap())
+        .seed(3)
+        .slab_capacity(16)
+        .protocol(move |_| Solo { out: None })
+        .adversary(DetBenign)
+        .build();
+    sim.run()
+        .expect("16 slots cover 3 concurrent pings per peer");
+}
+
+/// The adaptive crasher must not spend its budget on the held-at-start
+/// peer: every crash consultation in this run happens at a start event
+/// (event count still zero), so nothing may be crashed — in particular
+/// not the victim, whose start fires last against an all-zero frontier.
+#[test]
+fn adaptive_crasher_skips_held_at_start_peer() {
+    let (n, k) = (64, 5);
+    let victim = PeerId(k - 1);
+    let sim = SimBuilder::new(crash_params(n, k, 1))
+        .seed(11)
+        .protocol(move |_| Solo { out: None })
+        .adversary(LateStart {
+            victim,
+            inner: AdaptiveCrasher::new(1, 0),
+        })
+        .build();
+    let report = sim.run().expect("nothing crashes, everyone terminates");
+    assert!(
+        report.crashed.is_empty(),
+        "adaptive budget spent on a peer that never ran: {:?}",
+        report.crashed
+    );
+    assert!(report.outputs[victim.index()].is_some());
+}
