@@ -30,7 +30,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         ],
     );
     for byz in [0usize, 2, 4, 8, 16, 24, 31] {
-        let m = measure_par(trials, 21 + byz as u64, |seed| {
+        let m = measure_par(trials, 21 + byz as u64, move |seed| {
             run_committee(n, k, byz, byz, seed)
         });
         let theory = (n * (2 * byz + 1)).div_ceil(k);

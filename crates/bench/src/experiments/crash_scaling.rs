@@ -91,7 +91,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     for b in [0usize, 8, 16, 24, 28, 31] {
         let beta = b as f64 / k as f64;
-        let m = measure_par(trials, 11 + b as u64, |seed| {
+        let m = measure_par(trials, 11 + b as u64, move |seed| {
             run_crash_multi(n, k, b, b, 1024, false, seed)
         });
         let bound = (n as f64 / k as f64) * (1.0 / (1.0 - beta)) + (n as f64 / k as f64) + 1.0;
@@ -119,7 +119,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     for exp in 10..=15 {
         let n = 1usize << exp;
         let b = 16usize;
-        let m = measure_par(trials, exp as u64, |seed| {
+        let m = measure_par(trials, exp as u64, move |seed| {
             run_crash_multi(n, k, b, b, 1024, false, seed)
         });
         let bound = (n as f64 / k as f64) * 2.0 + n as f64 / k as f64 + 1.0;
@@ -150,7 +150,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Each b value is a paired plain/early comparison on the same seed —
     // inherently single-run, so the pairs (not the trials) fan out.
     let bs = [2usize, 4, 8];
-    let pairs = par::run_indexed(bs.len(), |i| {
+    let pairs = par::run_indexed(bs.len(), move |i| {
         let b = bs[i];
         let run_with = |early_release: bool, seed: u64| {
             let (n2, k2) = (4096usize, 16usize);

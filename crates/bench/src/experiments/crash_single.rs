@@ -27,7 +27,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     let k = 16usize;
     for exp in 10..=14 {
         let n = 1usize << exp;
-        let m = measure_par(trials, exp as u64, |seed| {
+        let m = measure_par(trials, exp as u64, move |seed| {
             run_single_crash(n, k, seed, Some(PeerId(3)))
         });
         let bound = n / k + n / (k * (k - 1)) + 2;
@@ -53,7 +53,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     let n = 8192usize;
     for k in [4usize, 8, 16, 32, 64] {
-        let m = measure_par(trials, k as u64, |seed| {
+        let m = measure_par(trials, k as u64, move |seed| {
             run_single_crash(n, k, seed, Some(PeerId(1)))
         });
         let bound = n / k + n / (k * (k - 1)) + 2;

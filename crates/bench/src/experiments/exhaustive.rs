@@ -62,10 +62,11 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         let (n, k) = (6usize, 3usize);
         let mut patterns: Vec<Vec<PeerId>> = vec![vec![]];
         patterns.extend((0..k).map(|v| vec![PeerId(v)]));
-        let reports = par::run_indexed(patterns.len(), |i| {
+        let job_patterns = patterns.clone();
+        let reports = par::run_indexed(patterns.len(), move |i| {
             let config = ExploreConfig {
                 max_schedules: budget,
-                ..ExploreConfig::new(k, input(n)).with_crashed(patterns[i].clone())
+                ..ExploreConfig::new(k, input(n)).with_crashed(job_patterns[i].clone())
             };
             explore(&config, move |_| SingleCrashDownload::new(n, k))
         });
@@ -94,7 +95,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Algorithm 2, every single-crash pattern (b = 1).
     {
         let (n, k, b) = (6usize, 3usize, 1usize);
-        let reports = par::run_indexed(k, |v| {
+        let reports = par::run_indexed(k, move |v| {
             let config = ExploreConfig {
                 max_schedules: budget,
                 ..ExploreConfig::new(k, input(n)).with_crashed(vec![PeerId(v)])

@@ -41,7 +41,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     let (n, k) = (256usize, 8usize);
     let names = ["naive", "balanced", "Alg 1 (crash-opt)", "committee t=2"];
-    let outcomes: Vec<AttackOutcome> = par::run_indexed(names.len(), |i| match i {
+    let outcomes: Vec<AttackOutcome> = par::run_indexed(names.len(), move |i| match i {
         0 => deterministic_attack(n, k, PeerId(0), |_| NaiveDownload::new(), 1),
         1 => deterministic_attack(n, k, PeerId(0), move |_| BalancedDownload::new(n, k), 2),
         2 => deterministic_attack(n, k, PeerId(0), move |_| SingleCrashDownload::new(n, k), 3),
@@ -78,7 +78,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         ],
     );
     let ps = [2usize, 4, 8];
-    let rand_stats = par::run_indexed(ps.len(), |i| {
+    let rand_stats = par::run_indexed(ps.len(), move |i| {
         let p = ps[i];
         let (n, k) = (512usize, 8usize);
         let plan = TwoCyclePlan::Sampled {

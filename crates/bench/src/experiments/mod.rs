@@ -11,6 +11,7 @@ pub mod multi_cycle;
 pub mod oracle;
 pub mod sim_scaling;
 pub mod strategy_ablation;
+pub mod suite;
 pub mod synchrony;
 pub mod table1;
 pub mod two_cycle;
@@ -42,5 +43,8 @@ pub fn run_all_metered(sink: &mut MetricsSink) -> Vec<Table> {
     tables.extend(exhaustive::run_metered(sink));
     tables.extend(hotpath::run_metered(sink));
     tables.extend(sim_scaling::run_metered(sink));
+    // `suite` is deliberately absent: it is the meta-experiment that
+    // *times* the twelve above plus the chaos campaign (run it via
+    // `dr experiments --only suite` or `fig_suite`).
     tables
 }

@@ -26,7 +26,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         &["a (bits)", "T (units)", "M (packets)", "Q"],
     );
     for a in [64usize, 256, 1024, 4096, 16384] {
-        let m = measure_par(trials, 90, |seed| {
+        let m = measure_par(trials, 90, move |seed| {
             run_crash_multi(n, k, b, b, a, false, seed)
         });
         t.row(vec![

@@ -35,10 +35,10 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
             } => (cycles.to_string(), initial_segments.to_string()),
             MultiCyclePlan::Naive => ("-".into(), "naive".into()),
         };
-        let multi = measure_par(trials, 60 + exp as u64, |s| {
+        let multi = measure_par(trials, 60 + exp as u64, move |s| {
             run_multi_cycle(n, k, b, ByzMix::Mixed, s)
         });
-        let two = measure_par(trials, 60 + exp as u64, |s| {
+        let two = measure_par(trials, 60 + exp as u64, move |s| {
             run_two_cycle(n, k, b, ByzMix::Mixed, s)
         });
         t.row(vec![

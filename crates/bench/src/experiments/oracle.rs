@@ -111,14 +111,14 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         seed,
     };
     for q in [1usize, 3] {
-        let ok = par::run_indexed(20, |seed| {
+        let ok = par::run_indexed(20, move |seed| {
             run_baseline(&small(seed as u64), q).odd_satisfied()
         });
         let bad = ok.iter().filter(|&&s| !s).count();
         rob.row(vec![format!("baseline q={q}"), f(bad as f64 / 20.0)]);
     }
     {
-        let ok = par::run_indexed(20, |seed| {
+        let ok = par::run_indexed(20, move |seed| {
             run_download_based(&small(seed as u64), DownloadEngine::TwoCycle).odd_satisfied()
         });
         let bad = ok.iter().filter(|&&s| !s).count();

@@ -14,9 +14,12 @@
 //!   crash-multi) across a (k, n) grid, reporting events/sec and the
 //!   peak-RSS proxy `peak_queue · sizeof(event) + peak_slab · payload
 //!   bytes` from the run's peak queue/slab occupancy.
-//! * **Race rows** rerun the workload grid serial vs sharded and gate
-//!   hard on fingerprint equality — the sharded pump must be an exact
-//!   behavioral replica, timed on the same workload.
+//! * **Race rows** rerun the workload grid serial vs sharded vs
+//!   parallel (sharded pump with window dispatch on the execution
+//!   plane, [`crate::plane::PlaneExecutor`]) and gate hard on
+//!   fingerprint equality — every pump must be an exact behavioral
+//!   replica, timed on the same workload. Crash-planned rows time the
+//!   degrade-to-serial gate rather than a fan-out.
 //! * **Streaming rows** run crash-multi against a generate-on-demand
 //!   [`ChunkedSource`](dr_core::ChunkedSource) at `n` up to 2²⁷ bits
 //!   (≥ 10⁸) with a fixed 512 KiB resident budget, verifying outputs
@@ -34,8 +37,8 @@
 use crate::metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};
 use crate::pump::{pump_events, pump_new, pump_old, pump_sharded};
 use crate::runners::{
-    run_committee, run_committee_sharded, run_crash_multi, run_crash_multi_sharded,
-    run_crash_multi_streaming,
+    run_committee, run_committee_pumped, run_committee_sharded, run_crash_multi,
+    run_crash_multi_pumped, run_crash_multi_sharded, run_crash_multi_streaming, PumpMode,
 };
 use crate::table::{f, Table};
 use dr_sim::RunReport;
@@ -53,6 +56,12 @@ const PUMP_SHARDS: usize = 8;
 
 /// Shard count for the end-to-end serial-vs-sharded race rows.
 const WORKLOAD_SHARDS: usize = 8;
+
+/// Window-dispatch thread count for the parallel-pump race rows. This is
+/// a configuration knob, not a core count: on machines with fewer cores
+/// the measured rate simply reflects that (the recorded `wall_clock_secs`
+/// is always the honest elapsed time on the machine that ran it).
+const PUMP_THREADS: usize = 4;
 
 /// Streaming-source geometry: 1024-word (8 KiB) chunks, at most 64
 /// resident — a 512 KiB budget regardless of `n`.
@@ -205,16 +214,19 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     }
 
     let mut race = Table::new(
-        "E-scale-c — serial vs sharded event pump, end to end (fingerprints gated equal)",
+        "E-scale-c — serial vs sharded vs parallel event pump, end to end (fingerprints gated equal)",
         &[
             "workload",
             "n",
             "k",
             "shards",
+            "threads",
             "events",
             "ev/s serial",
             "ev/s sharded",
+            "ev/s parallel",
             "speedup",
+            "par speedup",
         ],
     );
     let mut race_row = |sink: &mut MetricsSink,
@@ -223,29 +235,40 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
                         k: usize,
                         b: usize,
                         (serial, serial_secs): (RunReport, f64),
-                        (sharded, sharded_secs): (RunReport, f64)| {
-        // The hard gate: the sharded pump must be an exact behavioral
-        // replica of the serial one, not an approximation of it.
+                        (sharded, sharded_secs): (RunReport, f64),
+                        (parallel, parallel_secs): (RunReport, f64)| {
+        // The hard gate: the sharded and parallel pumps must be exact
+        // behavioral replicas of the serial one, not approximations.
         assert_eq!(
             serial.fingerprint(),
             sharded.fingerprint(),
             "sharded pump diverged from serial: {workload} n={n} k={k}"
         );
+        assert_eq!(
+            serial.fingerprint(),
+            parallel.fingerprint(),
+            "parallel pump diverged from serial: {workload} n={n} k={k}"
+        );
         let serial_rate = serial.events as f64 / serial_secs;
         let sharded_rate = sharded.events as f64 / sharded_secs;
+        let parallel_rate = parallel.events as f64 / parallel_secs;
         race.row(vec![
             workload.to_string(),
             n.to_string(),
             k.to_string(),
             WORKLOAD_SHARDS.to_string(),
+            PUMP_THREADS.to_string(),
             serial.events.to_string(),
             f(serial_rate),
             f(sharded_rate),
+            f(parallel_rate),
             f(sharded_rate / serial_rate),
+            f(parallel_rate / serial_rate),
         ]);
         for (variant, report, secs) in [
             ("serial", &serial, serial_secs),
             ("sharded", &sharded, sharded_secs),
+            ("parallel", &parallel, parallel_secs),
         ] {
             sink.push(ExperimentRecord::new(
                 EXPERIMENT,
@@ -259,16 +282,22 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
             ));
         }
     };
+    let pump_mode = PumpMode::parallel(WORKLOAD_SHARDS, PUMP_THREADS);
     for &(n, k, t) in &committee_grid {
         let serial = timed(|| run_committee_sharded(n, k, t, t, 11, 1));
         let sharded = timed(|| run_committee_sharded(n, k, t, t, 11, WORKLOAD_SHARDS));
-        race_row(sink, "committee", n, k, t, serial, sharded);
+        let parallel = timed(|| run_committee_pumped(n, k, t, t, 11, pump_mode));
+        race_row(sink, "committee", n, k, t, serial, sharded, parallel);
     }
+    // Crash plans make the adversary non-parallel-safe, so the parallel
+    // rows here time the *degrade-to-serial* gate: the row shows what the
+    // knob costs (nothing but the check) when the run cannot fan out.
     for &(n, k, b) in &crash_grid {
         let serial = timed(|| run_crash_multi_sharded(n, k, b, b, 1024, false, 13, 1));
         let sharded =
             timed(|| run_crash_multi_sharded(n, k, b, b, 1024, false, 13, WORKLOAD_SHARDS));
-        race_row(sink, "crash_multi", n, k, b, serial, sharded);
+        let parallel = timed(|| run_crash_multi_pumped(n, k, b, b, 1024, false, 13, pump_mode));
+        race_row(sink, "crash_multi", n, k, b, serial, sharded, parallel);
     }
 
     let mut streaming = Table::new(

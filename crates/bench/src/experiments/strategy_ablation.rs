@@ -32,7 +32,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         "E10 — 2-cycle under Byzantine strategies (n = 2^15, k = 256, b = 48; mean over trials)",
         &["strategy", "Q mean", "extra vs none", "ceiling b/tau"],
     );
-    let base = average_par(trials, 100, |s| {
+    let base = average_par(trials, 100, move |s| {
         run_two_cycle(n, k, b, ByzMix::None, s).max_nonfaulty_queries as f64
     });
     for (name, mix) in [
@@ -41,7 +41,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
         ("mixed", ByzMix::Mixed),
         ("colluders", ByzMix::Colluders),
     ] {
-        let m = measure_par(trials, 100, |s| run_two_cycle(n, k, b, mix, s));
+        let m = measure_par(trials, 100, move |s| run_two_cycle(n, k, b, mix, s));
         let q = m.queries.mean;
         t.row(vec![name.into(), f(q), f(q - base), (b / tau).to_string()]);
         sink.push(ExperimentRecord::new(

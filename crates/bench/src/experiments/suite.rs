@@ -1,0 +1,160 @@
+//! E-suite — whole-workload wall clock on the unified execution plane.
+//!
+//! Times the complete reproduction workload end to end, as two units:
+//!
+//! * **experiments** — the twelve paper experiments (everything in
+//!   [`super::run_all_metered`] except the perf trackers `hotpath` and
+//!   `sim_scaling`, which time themselves), run back to back exactly as
+//!   `dr experiments` would;
+//! * **chaos** — the default fault-injection campaign, 28 cases × 18
+//!   seeds = 504 runs (see [`crate::chaos::default_cases`]).
+//!
+//! Each unit runs at plane thread count 1 and, when the machine has
+//! more than one core, at `ncpu` (with the chaos sweep additionally
+//! running its parallel-eligible cases under `PumpMode::parallel(ncpu,
+//! ncpu)`). Every row's label records the *honest*
+//! `available_parallelism` of the machine that produced it — on a
+//! single-core box the sweep collapses to one thread count and no
+//! speedup is claimed. Timing lives exclusively in `wall_clock_secs`;
+//! all simulation results are seed-determined, and the chaos sweep
+//! gates on zero invariant violations.
+//!
+//! Set `DR_SUITE_SMOKE=1` (the CI smoke job does) to shrink the trial
+//! count and the chaos campaign to CI-affordable sizes.
+
+use crate::chaos::{run_campaign, Campaign};
+use crate::metrics::{
+    set_trials, trials, ExperimentParams, ExperimentRecord, Measured, MetricsSink,
+};
+use crate::par;
+use crate::runners::PumpMode;
+use crate::table::{f, Table};
+use std::time::Instant;
+
+const EXPERIMENT: &str = "suite";
+
+/// Fixed base seed of the timed chaos campaign (same default as
+/// `dr chaos` / `fig_chaos`).
+const CHAOS_SEED: u64 = 0xc0ffee;
+
+fn smoke() -> bool {
+    std::env::var("DR_SUITE_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The machine's honest core count; every record carries it.
+fn ncpu() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// The twelve paper experiments, back to back, into a scratch sink
+/// (this experiment times them; their own records are not re-emitted).
+fn run_paper_experiments() {
+    let sink = &mut MetricsSink::new();
+    super::table1::run_metered(sink);
+    super::crash_single::run_metered(sink);
+    super::crash_scaling::run_metered(sink);
+    super::byz_committee::run_metered(sink);
+    super::two_cycle::run_metered(sink);
+    super::multi_cycle::run_metered(sink);
+    super::lower_bound::run_metered(sink);
+    super::oracle::run_metered(sink);
+    super::msg_size::run_metered(sink);
+    super::strategy_ablation::run_metered(sink);
+    super::synchrony::run_metered(sink);
+    super::exhaustive::run_metered(sink);
+}
+
+/// Runs the suite timing experiment, discarding metrics records.
+pub fn run() -> Vec<Table> {
+    run_metered(&mut MetricsSink::new())
+}
+
+/// Runs the suite timing experiment, recording per-row metrics.
+pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
+    let ncpu = ncpu();
+    let chaos_runs_per_case: u64 = if smoke() { 2 } else { 18 };
+    let prev_trials = trials();
+    if smoke() {
+        set_trials(1);
+    }
+    let trials = trials();
+
+    // Thread counts to sweep: 1, plus ncpu when it differs. Never a
+    // fabricated second point on a single-core machine.
+    let mut thread_counts = vec![1usize];
+    if ncpu > 1 {
+        thread_counts.push(ncpu);
+    }
+
+    let mut table = Table::new(
+        "E-suite — whole-workload wall clock on the execution plane",
+        &[
+            "workload",
+            "threads",
+            "ncpu",
+            "size",
+            "wall secs",
+            "speedup vs 1",
+        ],
+    );
+
+    let prev_threads = par::thread_count();
+    let mut baseline: [f64; 2] = [0.0, 0.0];
+    for &t in &thread_counts {
+        par::set_threads(t);
+
+        let started = Instant::now();
+        run_paper_experiments();
+        let exp_secs = started.elapsed().as_secs_f64();
+
+        let mut campaign = Campaign::new(chaos_runs_per_case, CHAOS_SEED);
+        campaign.pump = if t > 1 {
+            PumpMode::parallel(t, t)
+        } else {
+            PumpMode::serial()
+        };
+        let chaos_runs = campaign.cases.len() * chaos_runs_per_case as usize;
+        let started = Instant::now();
+        let report = run_campaign(&campaign);
+        let chaos_secs = started.elapsed().as_secs_f64();
+        assert!(
+            report.violations.is_empty(),
+            "chaos campaign found {} violation(s) during suite timing",
+            report.violations.len()
+        );
+
+        if t == 1 {
+            baseline = [exp_secs, chaos_secs];
+        }
+        for (i, (workload, size, secs)) in [
+            (
+                "experiments",
+                format!("12 experiments x {trials} trials"),
+                exp_secs,
+            ),
+            ("chaos", format!("{chaos_runs} runs"), chaos_secs),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            table.row(vec![
+                workload.to_string(),
+                t.to_string(),
+                ncpu.to_string(),
+                size.clone(),
+                f(secs),
+                f(baseline[i] / secs),
+            ]);
+            sink.push(ExperimentRecord::new(
+                EXPERIMENT,
+                format!("{workload} threads={t} ncpu={ncpu} {size} (timed in wall_clock_secs)"),
+                ExperimentParams::nk(0, t),
+                Measured::queries_only(&[], secs),
+            ));
+        }
+    }
+    par::set_threads(prev_threads);
+    set_trials(prev_trials);
+
+    vec![table]
+}

@@ -53,8 +53,10 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     for b in [0usize, 4, 8, 12] {
         // Both modes run the same trial seeds, keeping the comparison
         // paired like the original single-seed version.
-        let sync = measure_par(trials, 200 + b as u64, |seed| run_mode(n, k, b, true, seed));
-        let async_ = measure_par(trials, 200 + b as u64, |seed| {
+        let sync = measure_par(trials, 200 + b as u64, move |seed| {
+            run_mode(n, k, b, true, seed)
+        });
+        let async_ = measure_par(trials, 200 + b as u64, move |seed| {
             run_mode(n, k, b, false, seed)
         });
         t.row(vec![

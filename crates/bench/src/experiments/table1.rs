@@ -43,7 +43,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Naive baseline: works under any fault fraction, Q = n.
     {
         let (n, k) = (8192usize, 32usize);
-        let m = measure_par(trials, 1, |seed| run_naive(n, k, seed));
+        let m = measure_par(trials, 1, move |seed| run_naive(n, k, seed));
         t.row(vec![
             "naive".into(),
             "any".into(),
@@ -66,7 +66,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Algorithm 1 (Thm 2.3): one crash.
     {
         let (n, k) = (8192usize, 32usize);
-        let m = measure_par(trials, 2, |seed| {
+        let m = measure_par(trials, 2, move |seed| {
             run_single_crash(n, k, seed, Some(PeerId(5)))
         });
         let theory = n / k + n / (k * (k - 1)) + 1;
@@ -92,7 +92,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Algorithm 2 (Thm 2.13) at β = 1/2 and β ≈ 0.9.
     for (b, crashes) in [(16usize, 16usize), (28, 28)] {
         let (n, k) = (8192usize, 32usize);
-        let m = measure_par(trials, 3, |seed| {
+        let m = measure_par(trials, 3, move |seed| {
             run_crash_multi(n, k, b, crashes, 1024, true, seed)
         });
         let beta = b as f64 / k as f64;
@@ -119,7 +119,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Deterministic committee (Thm 3.4): Byzantine minority.
     {
         let (n, k, byz) = (8192usize, 32usize, 8usize);
-        let m = measure_par(trials, 4, |seed| run_committee(n, k, byz, byz, seed));
+        let m = measure_par(trials, 4, move |seed| run_committee(n, k, byz, byz, seed));
         let theory = n * (2 * byz + 1) / k;
         t.row(vec![
             "Committee (Thm 3.4)".into(),
@@ -143,7 +143,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // 2-cycle randomized (Thm 3.7).
     {
         let (n, k, byz) = (1usize << 15, 256usize, 32usize);
-        let m = measure_par(trials, 5, |seed| {
+        let m = measure_par(trials, 5, move |seed| {
             run_two_cycle(n, k, byz, ByzMix::Mixed, seed)
         });
         let theory = match crate::runners::two_cycle_segmentation(n, k, byz) {
@@ -172,7 +172,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // Multi-cycle randomized (Thm 3.12).
     {
         let (n, k, byz) = (1usize << 15, 256usize, 32usize);
-        let m = measure_par(trials, 6, |seed| {
+        let m = measure_par(trials, 6, move |seed| {
             run_multi_cycle(n, k, byz, ByzMix::Mixed, seed)
         });
         let theory = match dr_protocols::MultiCyclePlan::choose(n, k, byz) {
@@ -204,7 +204,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     // works; fig_lower_bound demonstrates the attack.
     {
         let (n, k) = (8192usize, 32usize);
-        let m = measure_par(trials, 7, |seed| run_naive(n, k, seed));
+        let m = measure_par(trials, 7, move |seed| run_naive(n, k, seed));
         t.row(vec![
             "naive = optimal (Thm 3.1/3.2)".into(),
             "byzantine".into(),

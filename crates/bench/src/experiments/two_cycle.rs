@@ -34,7 +34,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     for exp in 12..=17 {
         let n = 1usize << exp;
-        let m = measure_par(trials, 30 + exp as u64, |seed| {
+        let m = measure_par(trials, 30 + exp as u64, move |seed| {
             run_two_cycle(n, k, b, ByzMix::Mixed, seed)
         });
         let committee_q = (n * (2 * b + 1)).div_ceil(k) as f64;
@@ -72,7 +72,7 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     let n = 1usize << 15;
     for byz in [0usize, 16, 32, 64, 96, 120, 127] {
-        let m = measure_par(trials, 40 + byz as u64, |seed| {
+        let m = measure_par(trials, 40 + byz as u64, move |seed| {
             run_two_cycle(n, k, byz, ByzMix::Silent, seed)
         });
         let plan = two_cycle_segmentation(n, k, byz)
@@ -101,11 +101,11 @@ pub fn run_metered(sink: &mut MetricsSink) -> Vec<Table> {
     );
     {
         let n = 1usize << 15;
-        let tc = measure_par(trials, 51, |seed| {
+        let tc = measure_par(trials, 51, move |seed| {
             run_two_cycle(n, k, b, ByzMix::Silent, seed)
         });
-        let cm = measure_par(trials, 52, |seed| run_committee(n, k, b, b, seed));
-        let nv = measure_par(trials, 53, |seed| run_naive(n, k, seed));
+        let cm = measure_par(trials, 52, move |seed| run_committee(n, k, b, b, seed));
+        let nv = measure_par(trials, 53, move |seed| run_naive(n, k, seed));
         for (name, m) in [("2-cycle", tc), ("committee", cm), ("naive", nv)] {
             fair.row(vec![
                 name.into(),

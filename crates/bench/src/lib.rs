@@ -14,6 +14,7 @@ pub mod cli;
 pub mod experiments;
 pub mod metrics;
 pub mod par;
+pub mod plane;
 pub mod pump;
 pub mod runners;
 pub mod stats;

@@ -166,10 +166,10 @@ impl Measured {
 /// so the statistics are bit-identical for any thread count.
 pub fn measure_par<R>(trials: u64, base_seed: u64, run: R) -> Measured
 where
-    R: Fn(u64) -> RunReport + Sync,
+    R: Fn(u64) -> RunReport + Send + Sync + 'static,
 {
     let started = Instant::now();
-    let metrics = par::run_indexed(trials as usize, |t| {
+    let metrics = par::run_indexed(trials as usize, move |t| {
         TrialMetrics::from(&run(base_seed + t as u64))
     });
     Measured::of(&metrics, started.elapsed().as_secs_f64())

@@ -1,112 +1,9 @@
-//! Scoped worker pool for fanning independent trials across cores.
+//! Back-compat facade over the unified execution plane.
 //!
-//! Trials are claimed from a shared atomic counter and every result is
-//! returned **in trial-index order**, so aggregation downstream is
-//! independent of which worker ran which trial — parallel runs produce
-//! bit-identical statistics to serial ones.
-//!
-//! The worker count resolves, in priority order: [`set_threads`] (the
-//! CLI `--threads` flag), the `DR_BENCH_THREADS` environment variable,
-//! then [`std::thread::available_parallelism`].
+//! Historically this module owned its own scoped-thread pool for trial
+//! fan-out. That pool is gone: trial jobs and intra-trial window jobs
+//! now share the single work-stealing pool in [`crate::plane`], and this
+//! module just re-exports its surface so existing callers (and the
+//! `DR_BENCH_THREADS` contract) keep working unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Process-wide override set by [`set_threads`]; 0 means "not set".
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// Name of the environment variable consulted by [`thread_count`].
-pub const THREADS_ENV: &str = "DR_BENCH_THREADS";
-
-/// Overrides the worker count for the whole process (e.g. from a
-/// `--threads` CLI flag). Passing 0 clears the override.
-pub fn set_threads(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
-}
-
-/// Number of workers trial fan-outs will use.
-pub fn thread_count() -> usize {
-    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if explicit > 0 {
-        return explicit;
-    }
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Runs `f(0), f(1), …, f(count − 1)` across the worker pool and returns
-/// the results ordered by index.
-///
-/// Workers claim indices from a shared counter, so scheduling is dynamic
-/// (a slow trial does not hold up the queue), but the returned `Vec` is
-/// always `[f(0), f(1), …]` regardless of the thread count — including
-/// `thread_count() == 1`, which runs inline with no thread overhead.
-pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = thread_count().min(count);
-    if workers <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        out.push((i, f(i)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial worker panicked"))
-            .collect()
-    });
-    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
-    all.sort_by_key(|(i, _)| *i);
-    all.into_iter().map(|(_, v)| v).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_are_in_index_order() {
-        set_threads(4);
-        let got = run_indexed(37, |i| i * i);
-        set_threads(0);
-        let want: Vec<usize> = (0..37).map(|i| i * i).collect();
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn single_thread_runs_inline() {
-        set_threads(1);
-        let got = run_indexed(5, |i| i + 1);
-        set_threads(0);
-        assert_eq!(got, vec![1, 2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn empty_count_yields_empty() {
-        assert_eq!(run_indexed(0, |i| i), Vec::<usize>::new());
-    }
-}
+pub use crate::plane::{run_indexed, set_threads, thread_count, THREADS_ENV};

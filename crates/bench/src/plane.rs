@@ -1,0 +1,473 @@
+//! The unified work-stealing execution plane.
+//!
+//! One process-wide pool schedules **both** levels of bench parallelism:
+//!
+//! * **trial jobs** — whole simulation runs fanned out by
+//!   [`run_indexed`] (experiment trials, chaos campaign runs), and
+//! * **window jobs** — intra-trial per-shard lane tasks submitted by the
+//!   simulator through [`PlaneExecutor`] (see
+//!   [`dr_sim::WindowExecutor`]).
+//!
+//! Both kinds share a single two-priority deque: window jobs enter at
+//! the **front**, trial jobs at the **back**. A worker that finishes a
+//! trial therefore steals pending lane work from still-running trials
+//! before starting the next trial, and lane work never starves behind a
+//! long backlog of queued trials.
+//!
+//! # Blocking discipline (deadlock freedom)
+//!
+//! Submitters never park while work they could run sits in the queue —
+//! they *help*:
+//!
+//! * a [`run_indexed`] caller pops **anything** (it is a top-level
+//!   frame; running a stolen trial merely nests a bounded trial→window
+//!   DAG),
+//! * a [`PlaneExecutor::run_jobs`] caller pops **window jobs only** — it
+//!   sits inside a trial, and popping another whole trial there would
+//!   recurse unboundedly.
+//!
+//! A submitter parks (on its completion channel) only when none of its
+//! jobs are poppable, which means every unfinished job is *running* on
+//! some other thread and will signal completion; hence no lost wakeups
+//! and no cycles. Jobs themselves never block on other jobs.
+//!
+//! Workers are spawned lazily and grow-only: the pool keeps the largest
+//! worker count any submission has asked for. Idle workers park on a
+//! condvar and cost nothing. Panics inside jobs are caught, forwarded
+//! over the completion channel, and resumed on the submitting thread.
+//!
+//! # Determinism
+//!
+//! The plane schedules; it never reorders results. [`run_indexed`]
+//! returns results in index order regardless of completion order, and
+//! window jobs only ever carry the simulator's pass-1 lane work, whose
+//! bit-identity argument lives in `dr_sim`'s lane module. Thread count
+//! (including 1, which runs everything inline) never changes any
+//! reported value.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use dr_sim::WindowExecutor;
+
+/// Name of the environment variable consulted by [`thread_count`].
+pub const THREADS_ENV: &str = "DR_BENCH_THREADS";
+
+/// Process-wide override set by [`set_threads`]; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for the whole process (e.g. from a
+/// `--threads` CLI flag). Passing 0 clears the override. Already-spawned
+/// workers are never torn down (they park when idle); lowering the count
+/// only limits how much new submissions fan out.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Worker threads submissions fan out over: the [`set_threads`] override,
+/// else `DR_BENCH_THREADS`, else the machine's available parallelism.
+pub fn thread_count() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued job tagged with its scheduling class.
+struct Entry {
+    /// Window (intra-trial) jobs jump the queue; trial jobs wait in line.
+    window: bool,
+    job: Job,
+}
+
+struct Plane {
+    queue: Mutex<VecDeque<Entry>>,
+    /// Signalled when jobs are pushed; workers park here.
+    work: Condvar,
+    /// Workers spawned so far (grow-only).
+    workers: AtomicUsize,
+}
+
+fn plane() -> &'static Plane {
+    static PLANE: OnceLock<Plane> = OnceLock::new();
+    PLANE.get_or_init(|| Plane {
+        queue: Mutex::new(VecDeque::new()),
+        work: Condvar::new(),
+        workers: AtomicUsize::new(0),
+    })
+}
+
+impl Plane {
+    /// Enqueues a batch: window jobs at the front (order preserved),
+    /// trial jobs at the back.
+    fn push(&self, entries: Vec<Entry>) {
+        let mut q = self.queue.lock().unwrap();
+        for e in entries.into_iter().rev() {
+            if e.window {
+                q.push_front(e);
+            } else {
+                q.push_back(e);
+            }
+        }
+        drop(q);
+        self.work.notify_all();
+    }
+
+    /// Pops the next job, or — with `window_only` — only a front-of-queue
+    /// window job (helpers inside a trial must not recurse into another
+    /// whole trial).
+    fn pop(&self, window_only: bool) -> Option<Job> {
+        let mut q = self.queue.lock().unwrap();
+        if window_only && !q.front().is_some_and(|e| e.window) {
+            return None;
+        }
+        q.pop_front().map(|e| e.job)
+    }
+
+    /// Grows the pool to at least `want` workers.
+    fn ensure_workers(&self, want: usize) {
+        loop {
+            let cur = self.workers.load(Ordering::Relaxed);
+            if cur >= want {
+                return;
+            }
+            if self
+                .workers
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                std::thread::Builder::new()
+                    .name(format!("dr-plane-{cur}"))
+                    .spawn(worker_loop)
+                    .expect("spawn plane worker");
+            }
+        }
+    }
+}
+
+fn worker_loop() {
+    let p = plane();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(e) = q.pop_front() {
+                    break e.job;
+                }
+                q = p.work.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Outcome of one job: its index and either its value or the payload of
+/// the panic that killed it.
+type Completion<T> = (usize, std::thread::Result<T>);
+
+/// Runs `f(0..count)` across the plane and returns the results **in
+/// index order** (bit-identical to a serial loop for any thread count).
+/// Runs inline when the plane would use a single thread.
+///
+/// The closure must be `'static`: jobs outlive the submitting stack
+/// frame on persistent workers, so captures are moved (clone or
+/// `Arc`-wrap shared data at the call site).
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    run_indexed_streaming(count, f, |_, _| ())
+}
+
+/// [`run_indexed`], additionally invoking `on_done(index, &result)` on
+/// the submitting thread **in completion order** as each job finishes —
+/// the hook for streaming progress while the index-ordered aggregate
+/// stays bit-identical. The callback must not submit plane work.
+pub fn run_indexed_streaming<T, F, C>(count: usize, f: F, mut on_done: C) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+    C: FnMut(usize, &T),
+{
+    let workers = thread_count().min(count);
+    if workers <= 1 {
+        return (0..count)
+            .map(|i| {
+                let v = f(i);
+                on_done(i, &v);
+                v
+            })
+            .collect();
+    }
+    let p = plane();
+    p.ensure_workers(workers - 1);
+
+    let f = Arc::new(f);
+    let (tx, rx) = crossbeam::channel::unbounded::<Completion<T>>();
+    let entries = (0..count)
+        .map(|i| {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let job: Job = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(i)));
+                // A dropped receiver just means the submitter already
+                // resumed a sibling's panic.
+                let _ = tx.send((i, out));
+            });
+            Entry { window: false, job }
+        })
+        .collect();
+    drop(tx);
+    p.push(entries);
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let mut received = 0usize;
+    while received < count {
+        // Help: a top-level submitter may run anything, including whole
+        // stolen trials.
+        while let Some(job) = p.pop(false) {
+            job();
+            while let Ok((i, out)) = rx.try_recv() {
+                received += 1;
+                let v = unwrap_completion(out);
+                on_done(i, &v);
+                slots[i] = Some(v);
+            }
+            if received == count {
+                break;
+            }
+        }
+        if received == count {
+            break;
+        }
+        // Nothing poppable: every unfinished job is running on another
+        // thread and will send its completion.
+        let (i, out) = rx.recv().expect("plane job dropped its completion");
+        received += 1;
+        let v = unwrap_completion(out);
+        on_done(i, &v);
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("plane job completed without a result"))
+        .collect()
+}
+
+fn unwrap_completion<T>(out: std::thread::Result<T>) -> T {
+    match out {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// [`dr_sim::WindowExecutor`] backed by the plane: lane jobs are pushed
+/// to the front of the shared queue and the calling thread helps run
+/// window work until its own batch completes.
+///
+/// `threads` is the desired *window-level* parallelism, independent of
+/// the trial-level [`thread_count`] (a `--pump-threads 4` run must fan
+/// its lanes out even when trials are serial). At `threads <= 1` the
+/// batch runs inline on the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneExecutor {
+    threads: usize,
+}
+
+impl PlaneExecutor {
+    /// An executor fanning window jobs over `threads` threads (the
+    /// caller counts as one).
+    pub fn new(threads: usize) -> Self {
+        PlaneExecutor { threads }
+    }
+
+    /// The configured window-level thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl WindowExecutor for PlaneExecutor {
+    fn run_jobs(&self, jobs: Vec<Box<dyn FnOnce() + Send>>) {
+        if self.threads <= 1 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let p = plane();
+        p.ensure_workers(self.threads - 1);
+
+        let total = jobs.len();
+        let (tx, rx) = crossbeam::channel::unbounded::<Completion<()>>();
+        let entries = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let tx = tx.clone();
+                let job: Job = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(job));
+                    let _ = tx.send((i, out));
+                });
+                Entry { window: true, job }
+            })
+            .collect();
+        drop(tx);
+        p.push(entries);
+
+        let mut received = 0usize;
+        while received < total {
+            // Help with window work only: this frame sits inside a
+            // trial, so stealing another whole trial here could nest
+            // trials unboundedly.
+            while let Some(job) = p.pop(true) {
+                job();
+                while let Ok((_, out)) = rx.try_recv() {
+                    received += 1;
+                    unwrap_completion(out);
+                }
+                if received == total {
+                    break;
+                }
+            }
+            if received == total {
+                break;
+            }
+            let (_, out) = rx.recv().expect("window job dropped its completion");
+            received += 1;
+            unwrap_completion(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        set_threads(4);
+        let got = run_indexed(37, |i| i * i);
+        set_threads(0);
+        let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        set_threads(1);
+        let got = run_indexed(5, |i| i + 1);
+        set_threads(0);
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_count_yields_empty() {
+        assert_eq!(run_indexed(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn streaming_sees_every_index_once() {
+        set_threads(3);
+        let mut seen = vec![0u32; 20];
+        let got = run_indexed_streaming(
+            20,
+            |i| i,
+            |i, &v| {
+                assert_eq!(i, v);
+                seen[i] += 1;
+            },
+        );
+        set_threads(0);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert_eq!(seen, vec![1; 20]);
+    }
+
+    #[test]
+    fn executor_runs_every_job() {
+        use std::sync::atomic::AtomicU32;
+        let hits = Arc::new(AtomicU32::new(0));
+        let ex = PlaneExecutor::new(3);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                job
+            })
+            .collect();
+        ex.run_jobs(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn executor_single_thread_is_inline() {
+        let ex = PlaneExecutor::new(1);
+        let mut ran = false;
+        // A non-Send-hostile check: inline execution happens on this
+        // thread, so a borrowed flag would not even compile if jobs were
+        // shipped to workers; use a channel to stay within 'static.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        ex.run_jobs(vec![Box::new(move || tx.send(()).unwrap())]);
+        if rx.try_recv().is_ok() {
+            ran = true;
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn trials_and_window_jobs_share_the_plane() {
+        // Trials that each fan out window jobs: exercises the nested
+        // help path (window submitters inside trial jobs).
+        set_threads(4);
+        let got = run_indexed(8, |t| {
+            let ex = PlaneExecutor::new(2);
+            let sum = Arc::new(AtomicUsize::new(0));
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|j| {
+                    let sum = Arc::clone(&sum);
+                    let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        sum.fetch_add(t * 10 + j, Ordering::Relaxed);
+                    });
+                    job
+                })
+                .collect();
+            ex.run_jobs(jobs);
+            sum.load(Ordering::Relaxed)
+        });
+        set_threads(0);
+        let want: Vec<usize> = (0..8).map(|t| 4 * (t * 10) + 6).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_submitter() {
+        set_threads(2);
+        let out = std::panic::catch_unwind(|| {
+            run_indexed(6, |i| {
+                if i == 3 {
+                    panic!("boom in trial 3");
+                }
+                i
+            })
+        });
+        set_threads(0);
+        assert!(out.is_err());
+    }
+}

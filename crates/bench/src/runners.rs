@@ -24,6 +24,57 @@ pub enum ByzMix {
     Colluders,
 }
 
+/// Event-pump configuration for a runner: shard count plus the
+/// window-level pump thread count.
+///
+/// With `threads > 1` the run attaches the shared execution plane
+/// ([`crate::plane::PlaneExecutor`]) as its window executor and lowers
+/// the parallel-window threshold to 2, so causally-closed windows
+/// actually fan out. Whether a window *may* run in parallel is still
+/// gated inside the simulator (shards > 1, no trace, adversary
+/// parallel-safe); every combination yields bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PumpMode {
+    /// Event-pump shard count (1 = the serial pump).
+    pub shards: usize,
+    /// Window-level pump threads (1 = serial dispatch).
+    pub threads: usize,
+}
+
+impl PumpMode {
+    /// The classic serial pump.
+    pub fn serial() -> Self {
+        PumpMode {
+            shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// Sharded pump with serial dispatch.
+    pub fn sharded(shards: usize) -> Self {
+        PumpMode { shards, threads: 1 }
+    }
+
+    /// Sharded pump with parallel window dispatch on the plane.
+    pub fn parallel(shards: usize, threads: usize) -> Self {
+        PumpMode { shards, threads }
+    }
+
+    /// Applies this mode to a builder.
+    pub fn apply<M: dr_core::ProtocolMessage>(&self, builder: SimBuilder<M>) -> SimBuilder<M> {
+        let builder = builder.shards(self.shards);
+        if self.threads > 1 {
+            builder
+                .pump_executor(std::sync::Arc::new(crate::plane::PlaneExecutor::new(
+                    self.threads,
+                )))
+                .parallel_window_min(2)
+        } else {
+            builder
+        }
+    }
+}
+
 /// Builds crash-fault parameters.
 pub fn crash_params(n: usize, k: usize, b: usize, msg_bits: usize) -> ModelParams {
     ModelParams::builder(n, k)
@@ -99,12 +150,38 @@ pub fn run_crash_multi_sharded(
     seed: u64,
     shards: usize,
 ) -> RunReport {
+    run_crash_multi_pumped(
+        n,
+        k,
+        b,
+        crashes,
+        msg_bits,
+        early_release,
+        seed,
+        PumpMode::sharded(shards),
+    )
+}
+
+/// [`run_crash_multi`] under an arbitrary [`PumpMode`]. Every
+/// (shards, threads) combination yields the same fingerprint; with
+/// crashes planned the adversary is not parallel-safe, so dispatch
+/// degrades to serial automatically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_crash_multi_pumped(
+    n: usize,
+    k: usize,
+    b: usize,
+    crashes: usize,
+    msg_bits: usize,
+    early_release: bool,
+    seed: u64,
+    pump: PumpMode,
+) -> RunReport {
     assert!(crashes <= b);
     let victims: Vec<PeerId> = (0..crashes).map(PeerId).collect();
     let plan = CrashPlan::before_event(victims, 1 + seed % 3);
-    let sim = SimBuilder::new(crash_params(n, k, b, msg_bits))
+    let builder = SimBuilder::new(crash_params(n, k, b, msg_bits))
         .seed(seed)
-        .shards(shards)
         .protocol(move |_| {
             let p = CrashMultiDownload::new(n, k, b);
             if early_release {
@@ -113,9 +190,8 @@ pub fn run_crash_multi_sharded(
                 p
             }
         })
-        .adversary(StandardAdversary::new(UniformDelay::new(), plan))
-        .build();
-    verified(sim)
+        .adversary(StandardAdversary::new(UniformDelay::new(), plan));
+    verified(pump.apply(builder).build())
 }
 
 /// Algorithm 2 against a streaming [`ChunkedSource`] — the source is
@@ -185,11 +261,25 @@ pub fn run_committee_sharded(
     seed: u64,
     shards: usize,
 ) -> RunReport {
+    run_committee_pumped(n, k, t, silent, seed, PumpMode::sharded(shards))
+}
+
+/// [`run_committee`] under an arbitrary [`PumpMode`]; every
+/// (shards, threads) combination yields the same fingerprint.
+pub fn run_committee_pumped(
+    n: usize,
+    k: usize,
+    t: usize,
+    silent: usize,
+    seed: u64,
+    pump: PumpMode,
+) -> RunReport {
     assert!(silent <= t);
-    let mut builder = SimBuilder::new(byz_params(n, k, t))
-        .seed(seed)
-        .shards(shards)
-        .protocol(move |_| CommitteeDownload::new(n, k, t));
+    let mut builder = pump.apply(
+        SimBuilder::new(byz_params(n, k, t))
+            .seed(seed)
+            .protocol(move |_| CommitteeDownload::new(n, k, t)),
+    );
     for i in 0..silent {
         builder = builder.byzantine(PeerId(i), SilentAgent::new());
     }
@@ -250,9 +340,24 @@ pub fn two_cycle_segmentation(n: usize, k: usize, b: usize) -> Option<(Segmentat
 
 /// 2-cycle randomized protocol run under a Byzantine mix.
 pub fn run_two_cycle(n: usize, k: usize, b: usize, mix: ByzMix, seed: u64) -> RunReport {
-    let builder = SimBuilder::new(byz_params(n, k, b))
-        .seed(seed)
-        .protocol(move |_| TwoCycleDownload::new(n, k, b));
+    run_two_cycle_pumped(n, k, b, mix, seed, PumpMode::serial())
+}
+
+/// [`run_two_cycle`] under an arbitrary [`PumpMode`]; every
+/// (shards, threads) combination yields the same fingerprint.
+pub fn run_two_cycle_pumped(
+    n: usize,
+    k: usize,
+    b: usize,
+    mix: ByzMix,
+    seed: u64,
+    pump: PumpMode,
+) -> RunReport {
+    let builder = pump.apply(
+        SimBuilder::new(byz_params(n, k, b))
+            .seed(seed)
+            .protocol(move |_| TwoCycleDownload::new(n, k, b)),
+    );
     let builder = match two_cycle_segmentation(n, k, b) {
         // Colluders form groups of τ consecutive IDs sharing one target
         // segment and one fake string, so each group crosses the
@@ -342,7 +447,7 @@ pub fn average<R: FnMut(u64) -> f64>(trials: u64, base_seed: u64, run: R) -> f64
 /// path, so the result is bit-identical for any thread count.
 pub fn average_par<R>(trials: u64, base_seed: u64, run: R) -> f64
 where
-    R: Fn(u64) -> f64 + Sync,
+    R: Fn(u64) -> f64 + Send + Sync + 'static,
 {
     Stats::sample_par(trials, base_seed, run).mean
 }

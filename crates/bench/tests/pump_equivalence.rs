@@ -1,0 +1,155 @@
+//! Parallel window dispatch must be invisible in the results: for every
+//! (shards × pump-threads) combination the run's
+//! [`dr_sim::RunReport::fingerprint`] — outputs, fault sets, query
+//! counts, Q/T/M metrics, event counts — is bit-identical to the serial
+//! pump. Three layers of evidence:
+//!
+//! 1. a proptest sweeping shards ∈ {1,3,8} × threads ∈ {1,2,4} × seed
+//!    over crash-multi (both crash-free and crash-planned), committee,
+//!    and 2-cycle runs, comparing each against a fresh serial run;
+//! 2. re-pins of the *pre-rewrite* golden fingerprints (recorded before
+//!    the zero-copy/slab rewrite, long before the plane existed) under
+//!    `threads = 4`, so the parallel path is anchored to historical
+//!    reality rather than to its own serial twin;
+//! 3. a schedule recorded on the serial pump replayed through the
+//!    parallel path.
+
+use dr_bench::runners::{self, ByzMix, PumpMode};
+use dr_protocols::CommitteeDownload;
+use dr_sim::{RecordingAdversary, ReplayAdversary, SilentAgent, SimBuilder, StandardAdversary};
+use proptest::prelude::*;
+
+/// The pump grid the suite promises bit-identity over.
+const SHARDS: [usize; 3] = [1, 3, 8];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One fingerprint per protocol family under an arbitrary pump mode.
+/// `case` 0: crash-multi with 3 planned crashes (the adversary is not
+/// parallel-safe, so dispatch must *degrade* to serial — the gate itself
+/// is under test); 1: crash-multi with zero crashes (parallel-eligible);
+/// 2: committee with one silent Byzantine peer; 3: 2-cycle sampled
+/// regime with a mixed Byzantine slate.
+fn fingerprint_of(case: usize, seed: u64, pump: PumpMode) -> u64 {
+    match case {
+        0 => runners::run_crash_multi_pumped(96, 8, 4, 3, 1024, false, seed, pump).fingerprint(),
+        1 => runners::run_crash_multi_pumped(96, 8, 4, 0, 1024, false, seed, pump).fingerprint(),
+        2 => runners::run_committee_pumped(48, 7, 2, 1, seed, pump).fingerprint(),
+        3 => runners::run_two_cycle_pumped(2048, 48, 3, ByzMix::Mixed, seed, pump).fingerprint(),
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sampled (case, shards, threads, seed) agrees with the serial
+    /// pump on the very same seed.
+    #[test]
+    fn any_pump_mode_matches_the_serial_fingerprint(
+        case in 0usize..4,
+        shards_i in 0usize..3,
+        threads_i in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let (shards, threads) = (SHARDS[shards_i], THREADS[threads_i]);
+        let serial = fingerprint_of(case, seed, PumpMode::serial());
+        let pumped = fingerprint_of(case, seed, PumpMode::parallel(shards, threads));
+        prop_assert_eq!(
+            serial, pumped,
+            "case={} shards={} threads={} seed={}", case, shards, threads, seed
+        );
+    }
+}
+
+/// The full 3×3 grid on one fixed seed per case, deterministically (the
+/// proptest above samples the grid; this leaves no cell unvisited).
+#[test]
+fn every_grid_cell_matches_serial_on_a_fixed_seed() {
+    for case in 0..4 {
+        let seed = 7 + case as u64;
+        let serial = fingerprint_of(case, seed, PumpMode::serial());
+        for shards in SHARDS {
+            for threads in THREADS {
+                let pumped = fingerprint_of(case, seed, PumpMode::parallel(shards, threads));
+                assert_eq!(
+                    serial, pumped,
+                    "case={case} shards={shards} threads={threads} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+/// Pre-rewrite golden fingerprints for the three families whose bench
+/// runners reproduce the golden scenarios exactly, duplicated from
+/// `crates/protocols/tests/golden_fingerprints.rs` (`GOLDENS`). Keep the
+/// two tables in sync: a regeneration there (intentional semantic change
+/// only) must be mirrored here.
+const GOLDEN_SEEDS: [u64; 3] = [1, 42, 0xD0DD];
+const GOLDEN_CRASH_MULTI: [u64; 3] = [0x3f71e89ab90f6f57, 0xc69c628d07a3d892, 0x43d21c48d49e797a];
+const GOLDEN_COMMITTEE: [u64; 3] = [0x76e232984b741394, 0x19317bf14263d3f0, 0xe99205b016f3e690];
+const GOLDEN_TWO_CYCLE: [u64; 3] = [0xeb460bf5611d0015, 0xc21249b195c23f04, 0xa66ba89e979e1604];
+
+/// `threads = 4` reproduces the pre-rewrite goldens bit-identically —
+/// the parallel plane is pinned to recorded history, not merely to
+/// today's serial implementation.
+#[test]
+fn parallel_dispatch_reproduces_the_pre_rewrite_goldens() {
+    let pump = PumpMode::parallel(8, 4);
+    for (i, seed) in GOLDEN_SEEDS.into_iter().enumerate() {
+        let got =
+            runners::run_crash_multi_pumped(128, 8, 4, 3, 1024, false, seed, pump).fingerprint();
+        assert_eq!(
+            got, GOLDEN_CRASH_MULTI[i],
+            "crash_multi seed={seed}: parallel pump diverged from pre-rewrite golden"
+        );
+        let got = runners::run_committee_pumped(48, 7, 2, 1, seed, pump).fingerprint();
+        assert_eq!(
+            got, GOLDEN_COMMITTEE[i],
+            "committee seed={seed}: parallel pump diverged from pre-rewrite golden"
+        );
+        let got =
+            runners::run_two_cycle_pumped(4096, 96, 6, ByzMix::Mixed, seed, pump).fingerprint();
+        assert_eq!(
+            got, GOLDEN_TWO_CYCLE[i],
+            "two_cycle seed={seed}: parallel pump diverged from pre-rewrite golden"
+        );
+    }
+}
+
+/// A schedule recorded on the serial pump replays bit-identically
+/// through parallel dispatch: the recorded trace is crash- and cut-free,
+/// so [`ReplayAdversary`] stays parallel-safe and windows genuinely fan
+/// out on the plane during the replay.
+#[test]
+fn recorded_schedules_replay_through_the_parallel_path() {
+    let (n, k, t) = (48, 7, 2);
+    for seed in GOLDEN_SEEDS {
+        let (recorder, handle) = RecordingAdversary::new(StandardAdversary::benign());
+        let sim = SimBuilder::new(runners::byz_params(n, k, t))
+            .seed(seed)
+            .protocol(move |_| CommitteeDownload::new(n, k, t))
+            .byzantine(dr_core::PeerId(0), SilentAgent::new())
+            .adversary(recorder)
+            .build();
+        let recorded = sim.run().expect("recording run terminates");
+        let trace = handle.take();
+
+        let pump = PumpMode::parallel(3, 4);
+        let sim = pump
+            .apply(
+                SimBuilder::new(runners::byz_params(n, k, t))
+                    .seed(seed)
+                    .protocol(move |_| CommitteeDownload::new(n, k, t))
+                    .byzantine(dr_core::PeerId(0), SilentAgent::new())
+                    .adversary(ReplayAdversary::new(trace)),
+            )
+            .build();
+        let replayed = sim.run().expect("replay run terminates");
+        assert_eq!(
+            recorded.fingerprint(),
+            replayed.fingerprint(),
+            "seed={seed}: replay through the parallel pump diverged from the recording"
+        );
+    }
+}

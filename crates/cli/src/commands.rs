@@ -62,15 +62,27 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
              (use balanced, alg2, alg2-early, or committee)"
         )));
     }
+    let pump_threads: usize = args.num("pump-threads", 1)?;
+    if pump_threads == 0 {
+        return Err(ArgError("--pump-threads must be at least 1".into()));
+    }
+    if pump_threads > 1 && shards <= 1 {
+        return Err(ArgError(
+            "--pump-threads needs --shards > 1 (parallel dispatch is per shard)".into(),
+        ));
+    }
+    let pump = runners::PumpMode::parallel(shards, pump_threads);
 
     let report = match protocol {
         "naive" => runners::run_naive(n, k, seed),
         "balanced" => {
             let params = runners::crash_params(n, k, 0, msg_bits);
-            let sim = dr_sim::SimBuilder::new(params)
-                .seed(seed)
-                .shards(shards)
-                .protocol(move |_| BalancedDownload::new(n, k))
+            let sim = pump
+                .apply(
+                    dr_sim::SimBuilder::new(params)
+                        .seed(seed)
+                        .protocol(move |_| BalancedDownload::new(n, k)),
+                )
                 .build();
             let input = sim.input().clone();
             let r = sim
@@ -81,16 +93,18 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             r
         }
         "alg1" => runners::run_single_crash(n, k, seed, (crashes > 0).then_some(PeerId(0))),
-        "alg2" => runners::run_crash_multi_sharded(n, k, b, crashes, msg_bits, false, seed, shards),
+        "alg2" => runners::run_crash_multi_pumped(n, k, b, crashes, msg_bits, false, seed, pump),
         "alg2-early" => {
-            runners::run_crash_multi_sharded(n, k, b, crashes, msg_bits, true, seed, shards)
+            runners::run_crash_multi_pumped(n, k, b, crashes, msg_bits, true, seed, pump)
         }
-        "committee" => runners::run_committee_sharded(n, k, b, b, seed, shards),
+        "committee" => runners::run_committee_pumped(n, k, b, b, seed, pump),
         "two-cycle" => runners::run_two_cycle(n, k, b, mix, seed),
         "multi-cycle" => runners::run_multi_cycle(n, k, b, mix, seed),
         other => return Err(ArgError(format!("unknown --protocol '{other}'"))),
     };
-    println!("protocol {protocol}: n={n} k={k} b={b} seed={seed} shards={shards}");
+    println!(
+        "protocol {protocol}: n={n} k={k} b={b} seed={seed} shards={shards} pump-threads={pump_threads}"
+    );
     print_report(&report, n);
     Ok(())
 }
@@ -323,6 +337,21 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     );
     campaign.shrink = args.num("shrink", 1u8)? != 0;
     campaign.out_dir = Some(args.get_or("out", "chaos_repros").into());
+    let pump_threads: usize = args.num("pump-threads", 1)?;
+    if pump_threads == 0 {
+        return Err(ArgError("--pump-threads must be at least 1".into()));
+    }
+    // Shards default to the pump thread count: one lane per thread.
+    let shards: usize = args.num("shards", pump_threads.max(1))?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    if pump_threads > 1 && shards <= 1 {
+        return Err(ArgError(
+            "--pump-threads needs --shards > 1 (parallel dispatch is per shard)".into(),
+        ));
+    }
+    campaign.pump = dr_bench::runners::PumpMode::parallel(shards, pump_threads);
     println!(
         "chaos campaign: {} cases x {} runs (base seed {:#x})",
         campaign.cases.len(),
@@ -429,6 +458,7 @@ pub fn experiments(args: &Args) -> Result<(), ArgError> {
         Some("exhaustive") => exp::exhaustive::run_metered(&mut sink),
         Some("hotpath") => exp::hotpath::run_metered(&mut sink),
         Some("sim_scaling") => exp::sim_scaling::run_metered(&mut sink),
+        Some("suite") => exp::suite::run_metered(&mut sink),
         Some(other) => return Err(ArgError(format!("unknown experiment '{other}'"))),
     };
     for table in tables {

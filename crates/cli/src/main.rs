@@ -5,13 +5,14 @@
 //! dr run     --protocol <naive|balanced|alg1|alg2|alg2-early|committee|two-cycle|multi-cycle>
 //!            --n <bits> --k <peers> [--b <faults>] [--crashes <count>]
 //!            [--byz-mix <none|silent|mixed|colluders>] [--seed <u64>] [--msg-bits <a>]
-//!            [--shards <count>]
+//!            [--shards <count>] [--pump-threads <n>]
 //! dr attack  --n <bits> --k <peers> --protocol <naive|balanced|committee> [--seed <u64>]
 //! dr oracle  [--nodes <k>] [--byz-nodes <b>] [--sources <m>] [--corrupt <c>] [--cells <n>]
 //!            [--engine <two-cycle|crash>] [--seed <u64>]
 //! dr explore --protocol <alg1|alg2> --n <bits> --k <peers> [--crash <victim>]
 //!            [--max-schedules <count>] [--seed <u64>]
 //! dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
+//!            [--shards <count>] [--pump-threads <n>]
 //!            [--shrink <0|1>] [--replay <chaos_repro_*.json>]
 //! dr lint    [--root <dir>] [--format <text|json>]
 //! dr experiments [--only <name>] [--json <dir>] [--threads <n>] [--trials <n>]
@@ -31,6 +32,7 @@ USAGE:
              --n <bits> --k <peers> [--b <faults>] [--crashes <count>]
              [--byz-mix <none|silent|mixed|colluders>] [--seed <u64>] [--msg-bits <a>]
              [--shards <count>]          sharded event pump (balanced/alg2/alg2-early/committee)
+             [--pump-threads <n>]        parallel window dispatch (needs --shards > 1)
   dr attack  --n <bits> --k <peers> --protocol <naive|balanced|committee> [--seed <u64>]
   dr oracle  [--nodes <k>] [--byz-nodes <b>] [--sources <m>] [--corrupt <c>] [--cells <n>]
              [--engine <two-cycle|crash>] [--seed <u64>]
@@ -39,12 +41,13 @@ USAGE:
   dr trace   [--n <bits>] [--k <peers>] [--b <faults>] [--crashes <count>] [--seed <u64>]
              [--shards <count>]
   dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
+             [--shards <count>] [--pump-threads <n>]   parallel window dispatch in the sweep
              [--shrink <0|1>] [--replay <chaos_repro_*.json>]
   dr lint    [--root <dir>] [--format <text|json>]     determinism static analysis
   dr experiments [--json <dir>] [--threads <n>] [--trials <n>]
                  [--only <table1|crash_single|crash_scaling|byz_committee|two_cycle|
                   multi_cycle|lower_bound|oracle|msg_size|strategy_ablation|
-                  synchrony|exhaustive|hotpath|sim_scaling>]
+                  synchrony|exhaustive|hotpath|sim_scaling|suite>]
 ";
 
 fn main() -> ExitCode {

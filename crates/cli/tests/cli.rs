@@ -83,6 +83,89 @@ fn trace_renders_events() {
 }
 
 #[test]
+fn run_with_pump_threads_reports_metrics() {
+    let (ok, stdout, _) = dr(&[
+        "run",
+        "--protocol",
+        "committee",
+        "--n",
+        "128",
+        "--k",
+        "7",
+        "--b",
+        "2",
+        "--shards",
+        "3",
+        "--pump-threads",
+        "2",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("pump-threads=2"));
+    assert!(stdout.contains("verified"));
+}
+
+#[test]
+fn pump_threads_without_shards_is_rejected() {
+    let (ok, _, stderr) = dr(&[
+        "run",
+        "--protocol",
+        "alg2",
+        "--n",
+        "64",
+        "--k",
+        "4",
+        "--pump-threads",
+        "2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--pump-threads needs --shards"), "{stderr}");
+}
+
+#[test]
+fn duplicate_pump_threads_flag_is_rejected() {
+    let (ok, _, stderr) = dr(&[
+        "run",
+        "--protocol",
+        "alg2",
+        "--n",
+        "64",
+        "--k",
+        "4",
+        "--shards",
+        "2",
+        "--pump-threads",
+        "2",
+        "--pump-threads",
+        "4",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--pump-threads given more than once"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn chaos_duplicate_pump_threads_flag_is_rejected() {
+    let (ok, _, stderr) = dr(&[
+        "chaos",
+        "--runs-per-case",
+        "1",
+        "--pump-threads",
+        "2",
+        "--pump-threads",
+        "2",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--pump-threads given more than once"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let (ok, _, stderr) = dr(&["frobnicate"]);
     assert!(!ok);

@@ -67,4 +67,4 @@ pub use params::{FaultModel, ModelParams, ModelParamsBuilder};
 pub use peer::{PeerId, PeerSet};
 pub use protocol::{Context, Protocol, ProtocolMessage};
 pub use segment::{SegmentId, SegmentString, Segmentation};
-pub use source::{ArraySource, QueryMeter, SharedSource, Source, SourceHandle};
+pub use source::{ArraySource, MeterDelta, QueryMeter, SharedSource, Source, SourceHandle};

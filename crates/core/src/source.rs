@@ -190,6 +190,117 @@ impl QueryMeter {
             .as_ref()
             .map(|log| log[peer.index()].lock().clone())
     }
+
+    /// Creates an empty [`MeterDelta`] for the peers shard `shard` of
+    /// `num_shards` owns (`peer % num_shards == shard`), with index
+    /// buffering matching this meter's tracking mode.
+    pub fn delta(&self, shard: usize, num_shards: usize) -> MeterDelta {
+        assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+        let k = self.counts.len();
+        // Shards past the peer count (oversharding) own no peers.
+        let locals = if shard < k {
+            (k - shard).div_ceil(num_shards)
+        } else {
+            0
+        };
+        MeterDelta {
+            shard,
+            num_shards,
+            counts: vec![0; locals],
+            indices: self
+                .index_log
+                .as_ref()
+                .map(|_| (0..locals).map(|_| Vec::new()).collect()),
+            dirty: Vec::new(),
+            in_dirty: vec![false; locals],
+        }
+    }
+
+    /// Merges (and clears) a shard's buffered counts and index logs into
+    /// this meter: one atomic add per peer the delta touched since the
+    /// last fold, instead of one per query.
+    ///
+    /// Per-peer index logs keep the exact order the peer issued its
+    /// queries in, because each peer's queries are buffered by exactly
+    /// one delta and appended contiguously here.
+    pub fn fold(&self, delta: &mut MeterDelta) {
+        debug_assert_eq!(
+            self.index_log.is_some(),
+            delta.indices.is_some(),
+            "meter/delta tracking modes diverged"
+        );
+        for l in delta.dirty.drain(..) {
+            let l = l as usize;
+            delta.in_dirty[l] = false;
+            let peer = l * delta.num_shards + delta.shard;
+            self.counts[peer].fetch_add(delta.counts[l], Ordering::Relaxed);
+            delta.counts[l] = 0;
+            if let (Some(log), Some(buf)) = (&self.index_log, &mut delta.indices) {
+                log[peer].lock().append(&mut buf[l]);
+            }
+        }
+    }
+}
+
+/// Shard-local query-count buffer: the lock-free, allocation-reusing
+/// stand-in for [`QueryMeter`] on the simulator's dispatch hot path.
+///
+/// Each simulation shard records its peers' queries into plain `u64`
+/// counters (plus index buffers when tracking is on) and merges them
+/// into the shared meter with [`QueryMeter::fold`] at the window
+/// barrier — one atomic add per active peer per window instead of one
+/// per query, and no atomic traffic at all from within a window.
+#[derive(Debug)]
+pub struct MeterDelta {
+    shard: usize,
+    num_shards: usize,
+    /// Buffered counts, indexed by local slot `peer / num_shards`.
+    counts: Vec<u64>,
+    /// Buffered query indices per local slot (tracking mode only).
+    indices: Option<Vec<Vec<usize>>>,
+    /// Local slots touched since the last fold.
+    dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
+}
+
+impl MeterDelta {
+    fn local_of(&self, peer: PeerId) -> usize {
+        debug_assert_eq!(peer.index() % self.num_shards, self.shard);
+        peer.index() / self.num_shards
+    }
+
+    fn touch(&mut self, l: usize) {
+        if !self.in_dirty[l] {
+            self.in_dirty[l] = true;
+            self.dirty.push(l as u32);
+        }
+    }
+
+    /// Buffers one query by `peer` (must belong to this delta's shard).
+    pub fn record(&mut self, peer: PeerId, index: usize) {
+        let l = self.local_of(peer);
+        self.touch(l);
+        self.counts[l] += 1;
+        if let Some(buf) = &mut self.indices {
+            buf[l].push(index);
+        }
+    }
+
+    /// Buffers a range query by `peer`, charging one query per bit —
+    /// identical accounting to [`QueryMeter::record_range`].
+    pub fn record_range(&mut self, peer: PeerId, range: Range<usize>) {
+        let l = self.local_of(peer);
+        self.touch(l);
+        self.counts[l] += range.len() as u64;
+        if let Some(buf) = &mut self.indices {
+            buf[l].extend(range);
+        }
+    }
+
+    /// Whether any counts are buffered and not yet folded.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
 }
 
 /// A source plus its meter, shared by all peers of a run.
@@ -229,6 +340,12 @@ impl SharedSource {
     /// The meter accumulating query counts for this run.
     pub fn meter(&self) -> &QueryMeter {
         &self.meter
+    }
+
+    /// A shared handle to the raw (unmetered) source, for contexts that
+    /// do their own accounting through a [`MeterDelta`].
+    pub fn source_arc(&self) -> Arc<dyn Source> {
+        Arc::clone(&self.source)
     }
 
     /// Creates the query handle for one peer.
@@ -348,6 +465,39 @@ mod tests {
         assert_eq!(bits.len(), 6);
         assert_eq!(h.queries_so_far(), 6);
         assert!(bits.get(0)); // index 3 is divisible by 3
+    }
+
+    #[test]
+    fn delta_folds_match_direct_metering() {
+        // Two meters, one fed directly and one through per-shard deltas,
+        // must agree on counts and per-peer index logs.
+        let direct = QueryMeter::with_index_tracking(5);
+        let deltas_target = QueryMeter::with_index_tracking(5);
+        let mut deltas: Vec<MeterDelta> = (0..2).map(|s| deltas_target.delta(s, 2)).collect();
+        let queries: [(usize, usize); 5] = [(0, 3), (1, 7), (2, 1), (0, 2), (3, 9)];
+        for (p, i) in queries {
+            direct.record(PeerId(p), i);
+            deltas[p % 2].record(PeerId(p), i);
+        }
+        direct.record_range(PeerId(4), 2..6);
+        deltas[0].record_range(PeerId(4), 2..6);
+        for d in &mut deltas {
+            deltas_target.fold(d);
+            assert!(d.is_empty());
+        }
+        assert_eq!(direct.counts(), deltas_target.counts());
+        for p in 0..5 {
+            assert_eq!(
+                direct.indices(PeerId(p)),
+                deltas_target.indices(PeerId(p)),
+                "peer {p}"
+            );
+        }
+        // A reused delta keeps folding correctly.
+        deltas[1].record(PeerId(1), 4);
+        deltas_target.fold(&mut deltas[1]);
+        direct.record(PeerId(1), 4);
+        assert_eq!(direct.counts(), deltas_target.counts());
     }
 
     #[test]

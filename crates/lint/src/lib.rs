@@ -16,6 +16,7 @@
 //! | `missing-forbid-unsafe` | `lib.rs` roots | — |
 //! | `bad-allow` | always | always |
 //! | `payload-clone` | always | — |
+//! | `raw-thread-spawn` | always | always (except `bench/src/plane.rs`) |
 //!
 //! The deterministic tier is `core`, `sim`, `protocols`, `oracle`; the
 //! tooling tier is `bench`, `cli`, `runtime`, and `lint` itself.
@@ -37,7 +38,7 @@ pub mod tokenizer;
 
 pub use rules::{
     check_source, ALL_RULES, RULE_BAD_ALLOW, RULE_ENTROPY_RNG, RULE_FORBID_UNSAFE,
-    RULE_PAYLOAD_CLONE, RULE_UNORDERED, RULE_WALL_CLOCK,
+    RULE_PAYLOAD_CLONE, RULE_RAW_THREAD, RULE_UNORDERED, RULE_WALL_CLOCK,
 };
 
 use std::fmt::Write as _;

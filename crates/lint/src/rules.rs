@@ -23,6 +23,9 @@ pub const RULE_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
 /// Rule: payload binding cloned inside a `send`/`broadcast` call.
 pub const RULE_PAYLOAD_CLONE: &str = "payload-clone";
+/// Rule: raw `thread::spawn`/`thread::scope`/`thread::Builder` outside the
+/// unified execution plane (`dr_bench::plane`).
+pub const RULE_RAW_THREAD: &str = "raw-thread-spawn";
 
 /// Every rule name, for `allow(...)` validation and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -32,7 +35,12 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FORBID_UNSAFE,
     RULE_BAD_ALLOW,
     RULE_PAYLOAD_CLONE,
+    RULE_RAW_THREAD,
 ];
+
+/// The one file sanctioned to own OS threads: the unified work-stealing
+/// plane every other crate is supposed to schedule onto.
+const PLANE_FILE: &str = "crates/bench/src/plane.rs";
 
 /// Bindings the `payload-clone` rule treats as message payloads. These are
 /// the conventional names protocol code gives to `BitArray`-typed data
@@ -283,6 +291,33 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
                     }
                     j += 1;
                 }
+            }
+            // raw-thread-spawn: OS threads must come from the unified
+            // work-stealing plane. An ad-hoc `thread::spawn` (or a scoped
+            // pool via `thread::scope`/`thread::Builder`) competes with
+            // the plane's workers for cores and hides its work from the
+            // plane's two-priority queue, so trial/window scheduling and
+            // the thread-count knobs stop describing reality. Applies to
+            // both tiers — deterministic crates must not thread at all,
+            // and tooling crates must route through `dr_bench::plane`.
+            "spawn" | "scope" | "Builder"
+                if file != PLANE_FILE && path_prefix_is(tokens, i, "thread") =>
+            {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_RAW_THREAD,
+                    message: format!(
+                        "thread::{} creates OS threads outside the execution plane",
+                        t.text
+                    ),
+                    suggestion:
+                        "schedule onto the shared pool (dr_bench::plane::run_indexed for trials, \
+                         PlaneExecutor for window jobs); a genuinely unpoolable thread needs a \
+                         `dr-lint: allow(raw-thread-spawn)` with its reason"
+                            .into(),
+                });
             }
             "random" if tier == Tier::Deterministic && path_prefix_is(tokens, i, "rand") => {
                 raw.push(Diagnostic {

@@ -127,6 +127,33 @@ fn malformed_allows_are_diagnostics_and_do_not_suppress() {
 }
 
 #[test]
+fn raw_thread_spawn_fires_in_both_tiers_but_not_in_the_plane() {
+    let src = fixture("raw_thread_spawn.rs");
+    // spawn + scope + Builder fire; the allowed watchdog Builder is
+    // suppressed; Command::spawn and thread::sleep stay silent.
+    let diags = check_source("crates/bench/src/fixture.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 3, "{diags:?}");
+    assert_eq!(diags.len(), 3);
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.suggestion.contains("dr_bench::plane")),
+        "{diags:?}"
+    );
+    // Deterministic-tier code gets the same treatment.
+    let diags = check_source(
+        "crates/sim/src/fixture.rs",
+        &src,
+        Tier::Deterministic,
+        false,
+    );
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 3, "{diags:?}");
+    // The plane itself is the sanctioned owner of OS threads.
+    let diags = check_source("crates/bench/src/plane.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 0, "{diags:?}");
+}
+
+#[test]
 fn clean_deterministic_file_is_clean() {
     let src = fixture("clean_deterministic.rs");
     let diags = check_source("crates/core/src/lib.rs", &src, Tier::Deterministic, true);

@@ -220,6 +220,7 @@ where
 
     let started = Instant::now();
     let deadline = started + config.timeout;
+    // dr-lint: allow(raw-thread-spawn): one OS thread per peer is this runtime's point — peers are concurrent actors racing real channels, not pool work items
     let outputs: Vec<Option<BitArray>> = thread::scope(|scope| {
         let mut joins = Vec::with_capacity(k);
         for (i, rx) in receivers.into_iter().enumerate() {

@@ -110,6 +110,21 @@ pub trait Adversary<M: ProtocolMessage>: Send {
         let (_, _, _) = (view, peer, planned);
         None
     }
+
+    /// Whether the simulator may run window batches of this adversary's
+    /// executions on worker threads (see `lane.rs`). Returning `true` is a
+    /// contract that the crash hooks are *inert* for the whole run —
+    /// [`crash_before_event`](Self::crash_before_event) always returns
+    /// `false` and [`crash_during_send`](Self::crash_during_send) always
+    /// returns `None` — because the parallel pass skips the per-event
+    /// crash consultation (it is the one serial hook whose answer the
+    /// lanes would need mid-window). Everything else (delays, holds,
+    /// quiescence decisions, RNG draws) runs serially in pass 2 either
+    /// way. The default is `false`: adaptive adversaries fall back to the
+    /// bit-identical serial pump.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 /// Boxed adversaries forward to their contents, so adversary choices can
@@ -150,6 +165,10 @@ impl<M: ProtocolMessage> Adversary<M> for Box<dyn Adversary<M>> {
         planned: usize,
     ) -> Option<usize> {
         (**self).crash_during_send(view, peer, planned)
+    }
+
+    fn parallel_safe(&self) -> bool {
+        (**self).parallel_safe()
     }
 }
 
@@ -395,6 +414,12 @@ impl<M: ProtocolMessage> Adversary<M> for StandardAdversary<M> {
 
     fn planned_crashes(&self) -> Option<usize> {
         Some(self.crash_plan.num_crashed())
+    }
+
+    fn parallel_safe(&self) -> bool {
+        // The crash plan is the only source of crashes; an empty one makes
+        // both crash hooks provably inert for the whole run.
+        self.crash_plan.num_crashed() == 0
     }
 }
 

@@ -2,11 +2,13 @@
 
 use crate::adversary::{Adversary, StandardAdversary};
 use crate::agent::Agent;
+use crate::lane::WindowExecutor;
 use crate::sim::Simulation;
 use crate::view::PeerRole;
 use dr_core::{ArraySource, BitArray, ModelParams, PeerId, ProtocolMessage, SharedSource, Source};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Factory producing each peer's agent; `Send` so a built
 /// [`Simulation`] can move to a worker thread.
@@ -60,6 +62,8 @@ pub struct SimBuilder<M: ProtocolMessage> {
     max_events: u64,
     shards: usize,
     slab_capacity: u32,
+    executor: Option<Arc<dyn WindowExecutor>>,
+    parallel_window_min: usize,
     index_tracking: bool,
     trace: bool,
 }
@@ -79,6 +83,8 @@ impl<M: ProtocolMessage> SimBuilder<M> {
             max_events: 50_000_000,
             shards: 1,
             slab_capacity: u32::MAX,
+            executor: None,
+            parallel_window_min: 32,
             index_tracking: false,
             trace: false,
         }
@@ -184,6 +190,28 @@ impl<M: ProtocolMessage> SimBuilder<M> {
         self
     }
 
+    /// Installs a [`WindowExecutor`] that runs each window's per-shard
+    /// event batches on worker threads (e.g. `dr_bench::plane`'s pool).
+    /// Takes effect only when [`shards`](Self::shards) > 1, tracing is
+    /// off, and the adversary reports
+    /// [`parallel_safe`](crate::Adversary::parallel_safe); otherwise the
+    /// run stays on the serial pump. Either way the execution — and
+    /// [`RunReport::fingerprint`](crate::RunReport::fingerprint) — is
+    /// bit-identical for the same seed and configuration.
+    pub fn pump_executor(mut self, executor: Arc<dyn WindowExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Minimum unserved window size worth fanning out to the executor
+    /// (default: 32). Smaller windows stay on the serial pop path, where
+    /// per-event overhead beats job-dispatch overhead. Tests exercising
+    /// the parallel path on small topologies set this low.
+    pub fn parallel_window_min(mut self, min: usize) -> Self {
+        self.parallel_window_min = min;
+        self
+    }
+
     /// Caps every message slab at `capacity` payload slots (default:
     /// `u32::MAX`). Exceeding the cap surfaces as
     /// [`RunError::SlabOverflow`](crate::RunError::SlabOverflow) from
@@ -286,6 +314,8 @@ impl<M: ProtocolMessage> SimBuilder<M> {
             self.shards,
             self.slab_capacity,
         );
+        sim.executor = self.executor;
+        sim.parallel_window_min = self.parallel_window_min;
         if self.trace {
             sim.enable_trace();
         }

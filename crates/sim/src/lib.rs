@@ -23,6 +23,7 @@ mod agent;
 mod builder;
 pub mod chaos;
 pub mod explore;
+mod lane;
 mod report;
 mod schedule;
 mod shard;
@@ -38,6 +39,7 @@ pub use adversary::{
 pub use agent::{Agent, SilentAgent};
 pub use builder::SimBuilder;
 pub use chaos::{AdaptiveCrasher, ChaosAdversary, ChaosConfig, HoldUntilQuiescence};
+pub use lane::{SerialWindowExecutor, WindowExecutor};
 pub use report::{DownloadViolation, RunError, RunReport};
 pub use schedule::{CutDecision, RecordingAdversary, ReplayAdversary, ScheduleTrace, TraceHandle};
 pub use sim::Simulation;

@@ -135,6 +135,17 @@ pub struct RunReport {
     /// Peak number of payloads simultaneously alive in the message slab
     /// (queued + held + pre-start buffered).
     pub peak_slab_len: u64,
+    /// Per-shard peak event-queue occupancy (one entry per shard; a
+    /// single entry for the serial layout). Shows how evenly the window
+    /// barrier spreads load across shards. Excluded from
+    /// [`fingerprint`](Self::fingerprint) like the global peaks — the
+    /// parallel dispatch path drains whole windows before re-inserting,
+    /// so peaks can be *lower* than the serial pump observes, while every
+    /// fingerprinted quantity is bit-identical.
+    pub peak_queue_lens: Vec<u64>,
+    /// Per-shard peak slab occupancy (see
+    /// [`peak_queue_lens`](Self::peak_queue_lens)).
+    pub peak_slab_lens: Vec<u64>,
     /// Structured execution trace, present when the simulation was built
     /// with [`trace`](crate::SimBuilder::trace). Render with
     /// [`render_trace`](crate::render_trace).
@@ -298,6 +309,8 @@ mod tests {
             quiescence_releases: 0,
             peak_queue_len: 0,
             peak_slab_len: 0,
+            peak_queue_lens: vec![0],
+            peak_slab_lens: vec![0],
             trace: None,
         }
     }

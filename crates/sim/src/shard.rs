@@ -1,12 +1,11 @@
-//! Event pumps: the serial and sharded queue/slab backends behind the
-//! simulator hot loop.
+//! The event pump: the sharded queue/slab structure behind the simulator
+//! hot loop, and the single source of truth for event pop order.
 //!
 //! [`EventPump`] owns the pending-event queue and the payload slabs for a
-//! run. The serial backend is one `BinaryHeap` plus one [`MsgSlab`] — the
-//! layout every golden fingerprint was recorded against. The sharded
-//! backend partitions peers across `s` shards (`shard(p) = p mod s`), each
-//! with its own heap and slab, and advances them under a conservative
-//! time-window barrier:
+//! run. There is one layout for every shard count: peers are partitioned
+//! across `s` shards (`shard(p) = p mod s`, with `s = 1` recovering the
+//! serial configuration), each with its own heap and slab, advanced under
+//! a conservative time-window barrier:
 //!
 //! * **Window.** All pending events sharing the minimum tick `T` form one
 //!   window. Message latencies are clamped to `1..=TICKS_PER_UNIT`, so an
@@ -14,18 +13,24 @@
 //!   later — the window is causally closed and can be drained from every
 //!   shard up front without missing a cross-shard send into it.
 //! * **Merge.** The drained window is sorted by the global `seq` stamp, so
-//!   events pop in exactly the `(at, seq)` order the serial heap produces.
+//!   events pop in exactly the global `(at, seq)` order a single heap
+//!   would produce. With one shard the refill is a straight heap drain of
+//!   the minimum tick; the serving order is identical either way, which is
+//!   why the pre-unification serial backend could be deleted without
+//!   re-pinning a single golden fingerprint.
 //! * **Same-tick appends.** The one exception to "new events land after
 //!   the window" is the pre-start flush, which re-enqueues buffered
 //!   messages at the *current* tick. Those pushes carry fresh `seq` stamps
 //!   larger than everything already drained, so appending them to the
 //!   active window keeps it sorted — checked by a debug assertion.
 //!
-//! Pop order therefore matches the serial pump event for event; adversary
-//! hooks, RNG draws, and every fingerprinted observable are bit-identical.
-//! Occupancy accounting (queue depth, live payloads, peaks) lives on the
-//! pump wrapper and counts globally, so the memory-pressure metrics also
-//! match the serial backend exactly.
+//! Occupancy accounting (queue depth, live payloads, peaks) lives both on
+//! the pump wrapper (global, matching the historical serial counters) and
+//! per shard (for the `RunReport` per-shard peak columns). The parallel
+//! dispatch path borrows whole windows ([`EventPump::take_window_at_least`])
+//! and shard slabs ([`EventPump::take_slab`]/[`EventPump::put_slab`]) so
+//! worker threads can own their shard's state outright for the duration of
+//! a window — see `sim.rs` for the two-pass execution argument.
 //!
 //! Slot lifecycle: every slab slot is owned by exactly one of a queued
 //! `Deliver` event, a held message, or a pre-start buffer entry; whichever
@@ -42,10 +47,14 @@ use std::collections::BinaryHeap;
 /// A hand-rolled slab: `insert` hands out a `u32` slot (recycling freed
 /// slots LIFO), `take` moves the payload out and frees the slot. Payloads
 /// stay put for their whole queued/held lifetime — only slot indices move
-/// through the event queue.
+/// through the event queue. The slab tracks its own live/peak occupancy so
+/// per-shard peaks stay exact even while the slab is lent out to a worker
+/// thread.
 pub(crate) struct MsgSlab<M> {
     slots: Vec<Option<M>>,
     free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
 }
 
 impl<M> MsgSlab<M> {
@@ -53,6 +62,8 @@ impl<M> MsgSlab<M> {
         MsgSlab {
             slots: Vec::new(),
             free: Vec::new(),
+            live: 0,
+            peak_live: 0,
         }
     }
 
@@ -60,11 +71,11 @@ impl<M> MsgSlab<M> {
     /// growing the slab otherwise. Fails (instead of panicking) when
     /// growth would exceed `capacity` slots.
     fn insert(&mut self, msg: M, capacity: u32) -> Result<u32, SlabOverflow> {
-        match self.free.pop() {
+        let slot = match self.free.pop() {
             Some(slot) => {
                 debug_assert!(self.slots[slot as usize].is_none());
                 self.slots[slot as usize] = Some(msg);
-                Ok(slot)
+                slot
             }
             None => {
                 if self.slots.len() >= capacity as usize {
@@ -72,17 +83,31 @@ impl<M> MsgSlab<M> {
                 }
                 let slot = self.slots.len() as u32;
                 self.slots.push(Some(msg));
-                Ok(slot)
+                slot
             }
-        }
+        };
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        Ok(slot)
     }
 
-    fn take(&mut self, slot: u32) -> M {
+    pub(crate) fn take(&mut self, slot: u32) -> M {
         let msg = self.slots[slot as usize]
             .take()
             .expect("message slot already freed");
         self.free.push(slot);
+        self.live -= 1;
         msg
+    }
+
+    /// Payloads currently stored.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak stored payloads over this slab's lifetime.
+    fn peak_live(&self) -> usize {
+        self.peak_live
     }
 }
 
@@ -104,7 +129,7 @@ pub(crate) enum EventKind {
 
 impl EventKind {
     /// The peer an event steps (and whose shard owns any payload slot).
-    fn subject(self) -> PeerId {
+    pub(crate) fn subject(self) -> PeerId {
         match self {
             EventKind::Start(p) => p,
             EventKind::Deliver { to, .. } => to,
@@ -138,14 +163,27 @@ impl Ord for QueuedEvent {
 }
 
 /// One shard: a private event heap plus a private payload slab for the
-/// peers this shard owns.
+/// peers this shard owns. The slab sits in an `Option` so the parallel
+/// dispatch path can lend it to a worker thread for the duration of a
+/// window; every access asserts it is home.
 struct Shard<M> {
     queue: BinaryHeap<QueuedEvent>,
-    slab: MsgSlab<M>,
+    slab: Option<MsgSlab<M>>,
+    /// Events currently queued for this shard (heap + unserved window).
+    queued: usize,
+    peak_queued: usize,
 }
 
-/// The sharded backend state: per-shard heaps plus the active time window.
-struct Sharded<M> {
+impl<M> Shard<M> {
+    fn slab(&mut self) -> &mut MsgSlab<M> {
+        self.slab.as_mut().expect("shard slab lent out")
+    }
+}
+
+/// The simulator's pending-event queue and payload store: per-shard heaps
+/// and slabs drained through a time-window barrier, popping events in
+/// global `(at, seq)` order for any shard count (1 = the serial layout).
+pub(crate) struct EventPump<M> {
     shards: Vec<Shard<M>>,
     /// Events of the active window in ascending `seq` order; positions
     /// before `cursor` have been popped.
@@ -155,14 +193,51 @@ struct Sharded<M> {
     /// same-tick push (pre-start flush) still lands in the window rather
     /// than a shard heap.
     window_at: Option<Ticks>,
+    /// Per-slab slot capacity; inserting past it yields [`SlabOverflow`].
+    capacity: u32,
+    queued: usize,
+    peak_queued: usize,
+    live: usize,
+    peak_live: usize,
 }
 
-impl<M> Sharded<M> {
-    fn shard_of(&self, peer: PeerId) -> usize {
+impl<M> EventPump<M> {
+    /// Creates a pump with `shards` shards (1 = the serial layout) and a
+    /// per-slab slot capacity.
+    pub(crate) fn new(shards: usize, capacity: u32) -> Self {
+        assert!(shards >= 1, "a pump needs at least one shard");
+        EventPump {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    queue: BinaryHeap::new(),
+                    slab: Some(MsgSlab::new()),
+                    queued: 0,
+                    peak_queued: 0,
+                })
+                .collect(),
+            window: Vec::new(),
+            cursor: 0,
+            window_at: None,
+            capacity,
+            queued: 0,
+            peak_queued: 0,
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// Number of shards (1 for the serial layout).
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `peer`'s events and payloads.
+    pub(crate) fn shard_of(&self, peer: PeerId) -> usize {
         peer.index() % self.shards.len()
     }
 
-    fn push(&mut self, ev: QueuedEvent) {
+    pub(crate) fn push(&mut self, ev: QueuedEvent) {
+        let s = self.shard_of(ev.kind.subject());
         match self.window_at {
             Some(t) if ev.at == t => {
                 // Same-tick append (pre-start flush): `seq` stamps are
@@ -178,28 +253,30 @@ impl<M> Sharded<M> {
                     earlier.is_none_or(|t| ev.at > t),
                     "event scheduled before the active window (latency < 1?)"
                 );
-                let s = self.shard_of(ev.kind.subject());
                 self.shards[s].queue.push(ev);
             }
         }
+        self.shards[s].queued += 1;
+        self.shards[s].peak_queued = self.shards[s].peak_queued.max(self.shards[s].queued);
+        self.queued += 1;
+        self.peak_queued = self.peak_queued.max(self.queued);
     }
 
-    fn pop(&mut self) -> Option<QueuedEvent> {
-        if self.cursor < self.window.len() {
-            let ev = self.window[self.cursor];
-            self.cursor += 1;
-            return Some(ev);
-        }
-        // Refill: drain every shard's events at the global minimum tick
-        // into a fresh window, then merge by seq.
+    /// Refills the window with every shard's events at the global minimum
+    /// tick, merged by seq. Returns `false` if all heaps are empty.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.cursor >= self.window.len());
         self.window.clear();
         self.cursor = 0;
-        let t = self
+        let Some(t) = self
             .shards
             .iter()
             .filter_map(|s| s.queue.peek())
             .map(|ev| ev.at)
-            .min()?;
+            .min()
+        else {
+            return false;
+        };
         self.window_at = Some(t);
         for shard in &mut self.shards {
             while shard.queue.peek().is_some_and(|ev| ev.at == t) {
@@ -207,96 +284,63 @@ impl<M> Sharded<M> {
             }
         }
         self.window.sort_unstable_by_key(|ev| ev.seq);
-        self.cursor = 1;
-        Some(self.window[0])
-    }
-}
-
-enum Backend<M> {
-    Serial {
-        queue: BinaryHeap<QueuedEvent>,
-        slab: MsgSlab<M>,
-    },
-    Sharded(Sharded<M>),
-}
-
-/// The simulator's pending-event queue and payload store, in either the
-/// serial (one heap, one slab) or the sharded (per-shard heaps and slabs
-/// under a time-window barrier) layout. Both pop events in identical
-/// global `(at, seq)` order.
-pub(crate) struct EventPump<M> {
-    backend: Backend<M>,
-    /// Per-slab slot capacity; inserting past it yields [`SlabOverflow`].
-    capacity: u32,
-    queued: usize,
-    peak_queued: usize,
-    live: usize,
-    peak_live: usize,
-}
-
-impl<M> EventPump<M> {
-    /// Creates a pump with `shards` shards (1 = the serial layout) and a
-    /// per-slab slot capacity.
-    pub(crate) fn new(shards: usize, capacity: u32) -> Self {
-        assert!(shards >= 1, "a pump needs at least one shard");
-        let backend = if shards == 1 {
-            Backend::Serial {
-                queue: BinaryHeap::new(),
-                slab: MsgSlab::new(),
-            }
-        } else {
-            Backend::Sharded(Sharded {
-                shards: (0..shards)
-                    .map(|_| Shard {
-                        queue: BinaryHeap::new(),
-                        slab: MsgSlab::new(),
-                    })
-                    .collect(),
-                window: Vec::new(),
-                cursor: 0,
-                window_at: None,
-            })
-        };
-        EventPump {
-            backend,
-            capacity,
-            queued: 0,
-            peak_queued: 0,
-            live: 0,
-            peak_live: 0,
-        }
-    }
-
-    pub(crate) fn push(&mut self, ev: QueuedEvent) {
-        match &mut self.backend {
-            Backend::Serial { queue, .. } => queue.push(ev),
-            Backend::Sharded(sharded) => sharded.push(ev),
-        }
-        self.queued += 1;
-        self.peak_queued = self.peak_queued.max(self.queued);
+        true
     }
 
     pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
-        let ev = match &mut self.backend {
-            Backend::Serial { queue, .. } => queue.pop(),
-            Backend::Sharded(sharded) => sharded.pop(),
-        };
-        if ev.is_some() {
-            self.queued -= 1;
+        if self.cursor >= self.window.len() && !self.refill() {
+            return None;
         }
-        ev
+        let ev = self.window[self.cursor];
+        self.cursor += 1;
+        self.queued -= 1;
+        let s = self.shard_of(ev.kind.subject());
+        self.shards[s].queued -= 1;
+        Some(ev)
+    }
+
+    /// Takes the whole active window (refilling it first if needed) when
+    /// it holds at least `min` unserved events; otherwise leaves it for
+    /// [`EventPump::pop`]. The window tick stays active, so same-tick
+    /// appends made while the caller processes the taken events land in
+    /// serving order behind them.
+    pub(crate) fn take_window_at_least(&mut self, min: usize) -> Option<Vec<QueuedEvent>> {
+        if self.cursor >= self.window.len() && !self.refill() {
+            return None;
+        }
+        if self.window.len() - self.cursor < min {
+            return None;
+        }
+        let taken: Vec<QueuedEvent> = self.window.split_off(self.cursor);
+        for ev in &taken {
+            self.queued -= 1;
+            let s = self.shard_of(ev.kind.subject());
+            self.shards[s].queued -= 1;
+        }
+        Some(taken)
+    }
+
+    /// Lends shard `s`'s slab to a worker. Live-payload accounting moves
+    /// with it; [`EventPump::put_slab`] brings both home.
+    pub(crate) fn take_slab(&mut self, s: usize) -> MsgSlab<M> {
+        let slab = self.shards[s].slab.take().expect("shard slab already lent");
+        self.live -= slab.live();
+        slab
+    }
+
+    /// Returns a lent slab (see [`EventPump::take_slab`]).
+    pub(crate) fn put_slab(&mut self, s: usize, slab: MsgSlab<M>) {
+        debug_assert!(self.shards[s].slab.is_none(), "shard slab returned twice");
+        self.live += slab.live();
+        self.shards[s].slab = Some(slab);
     }
 
     /// Stores a payload in the slab of the shard owning `owner` (the
     /// destination peer for deliveries, holds, and pre-start buffers).
     pub(crate) fn insert_payload(&mut self, owner: PeerId, msg: M) -> Result<u32, SlabOverflow> {
-        let slot = match &mut self.backend {
-            Backend::Serial { slab, .. } => slab.insert(msg, self.capacity)?,
-            Backend::Sharded(sharded) => {
-                let s = sharded.shard_of(owner);
-                sharded.shards[s].slab.insert(msg, self.capacity)?
-            }
-        };
+        let s = self.shard_of(owner);
+        let capacity = self.capacity;
+        let slot = self.shards[s].slab().insert(msg, capacity)?;
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
         Ok(slot)
@@ -304,14 +348,9 @@ impl<M> EventPump<M> {
 
     /// Moves a payload out of `owner`'s shard slab, freeing the slot.
     pub(crate) fn take_payload(&mut self, owner: PeerId, slot: u32) -> M {
+        let s = self.shard_of(owner);
         self.live -= 1;
-        match &mut self.backend {
-            Backend::Serial { slab, .. } => slab.take(slot),
-            Backend::Sharded(sharded) => {
-                let s = sharded.shard_of(owner);
-                sharded.shards[s].slab.take(slot)
-            }
-        }
+        self.shards[s].slab().take(slot)
     }
 
     /// Payloads currently alive across all slabs (queued + held +
@@ -328,6 +367,19 @@ impl<M> EventPump<M> {
     /// Peak live payloads over the run (all slabs combined).
     pub(crate) fn peak_live(&self) -> usize {
         self.peak_live
+    }
+
+    /// Peak queue occupancy per shard.
+    pub(crate) fn peak_queued_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.peak_queued as u64).collect()
+    }
+
+    /// Peak live payloads per shard slab.
+    pub(crate) fn peak_live_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.slab.as_ref().expect("shard slab lent out").peak_live() as u64)
+            .collect()
     }
 }
 
@@ -407,6 +459,9 @@ mod tests {
         assert_eq!(pump.take_payload(PeerId(2), c), "two");
         assert_eq!(pump.live_payloads(), 0);
         assert_eq!(pump.peak_live(), 3);
+        // Per-shard attribution: shard 1 peaked at 2, shard 2 at 1, the
+        // rest never held a payload.
+        assert_eq!(pump.peak_live_per_shard(), vec![0, 2, 1, 0]);
     }
 
     #[test]
@@ -424,13 +479,63 @@ mod tests {
     }
 
     #[test]
-    fn queue_peaks_count_globally() {
+    fn queue_peaks_count_globally_and_per_shard() {
         let mut pump: EventPump<()> = EventPump::new(2, u32::MAX);
         for seq in 0..6 {
             pump.push(ev(1 + seq, seq, seq as usize));
         }
         assert_eq!(pump.peak_queued(), 6);
+        assert_eq!(pump.peak_queued_per_shard(), vec![3, 3]);
         while pump.pop().is_some() {}
         assert_eq!(pump.peak_queued(), 6);
+        assert_eq!(pump.peak_queued_per_shard(), vec![3, 3]);
+    }
+
+    #[test]
+    fn take_window_respects_min_and_serving_order() {
+        let mut pump: EventPump<()> = EventPump::new(3, u32::MAX);
+        for (at, seq, peer) in [(2, 0, 0), (2, 1, 1), (2, 2, 5), (6, 3, 2)] {
+            pump.push(ev(at, seq, peer));
+        }
+        // Window of 3 is below a min of 4: left for pop.
+        assert!(pump.take_window_at_least(4).is_none());
+        let win = pump.take_window_at_least(3).expect("window of 3");
+        assert_eq!(win.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(pump.queued, 1);
+        // Same-tick appends made while the window is out are served before
+        // the next tick's events.
+        pump.push(ev(2, 4, 1));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(4));
+        assert_eq!(pump.pop().map(|e| e.seq), Some(3));
+        assert!(pump.pop().is_none());
+    }
+
+    #[test]
+    fn partially_served_window_can_still_be_taken() {
+        let mut pump: EventPump<()> = EventPump::new(2, u32::MAX);
+        for seq in 0..4 {
+            pump.push(ev(3, seq, seq as usize));
+        }
+        assert_eq!(pump.pop().map(|e| e.seq), Some(0));
+        let rest = pump.take_window_at_least(1).expect("remainder");
+        assert_eq!(
+            rest.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(pump.pop().is_none());
+    }
+
+    #[test]
+    fn lent_slab_accounting_moves_with_it() {
+        let mut pump: EventPump<u8> = EventPump::new(2, u32::MAX);
+        let s0 = pump.insert_payload(PeerId(0), 10).unwrap();
+        let _s1 = pump.insert_payload(PeerId(1), 11).unwrap();
+        let mut slab = pump.take_slab(0);
+        assert_eq!(pump.live_payloads(), 1);
+        assert_eq!(slab.take(s0), 10);
+        pump.put_slab(0, slab);
+        assert_eq!(pump.live_payloads(), 1);
+        assert_eq!(pump.peak_live(), 2);
+        assert_eq!(pump.peak_live_per_shard(), vec![1, 1]);
     }
 }

@@ -25,22 +25,36 @@
 //! pre-start buffer entry; whichever path consumes or drops the message
 //! frees the slot. Combined with the copy-on-write `BitArray` buffer, a
 //! k-recipient broadcast of an n-bit payload costs O(k) reference bumps,
-//! not O(k·n) copied bits. The queue/slab pair itself comes in a serial
-//! and a sharded flavour behind [`EventPump`] — see `shard.rs` for the
-//! window-barrier determinism argument.
+//! not O(k·n) copied bits.
+//!
+//! # Lane-major state and parallel windows
+//!
+//! Mutable per-peer state (agent, RNG, pre-start buffer, lifecycle-flag
+//! mirror) lives in per-shard [`Lane`]s rather than k-length vectors, and
+//! query accounting goes through each lane's `MeterDelta` rather than the
+//! shared meter's atomics. The coordinator keeps the authoritative
+//! contiguous [`PeerStatus`] vector — the read-only core every adversary
+//! `View` borrows — and mirrors every lifecycle transition into the owning
+//! lane's flags. When a [`WindowExecutor`] is installed, window batches
+//! whose events all share one tick run their per-shard halves on worker
+//! threads and replay the global bookkeeping serially — see `lane.rs` for
+//! the two-pass argument and why `RunReport::fingerprint()` is
+//! bit-identical to the serial pump for every (shards × threads)
+//! combination.
 
 use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
 use crate::agent::Agent;
+use crate::lane::{Lane, LaneCtx, Pass1Outcome, WindowExecutor};
 use crate::report::{RunError, RunReport};
-use crate::shard::{EventKind, EventPump, QueuedEvent};
+use crate::shard::{EventKind, EventPump, MsgSlab, QueuedEvent};
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::trace::TraceEntry;
-use crate::view::{PeerRole, PeerStatus, View};
-use dr_core::{
-    BitArray, Context, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource, SourceHandle,
-};
+use crate::view::{LaneFlags, PeerRole, PeerStatus, View};
+use dr_core::{BitArray, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
+use std::sync::Arc;
 
 struct HeldMessage {
     from: PeerId,
@@ -48,41 +62,6 @@ struct HeldMessage {
     slot: u32,
     sent_at: Ticks,
     packets: u64,
-}
-
-struct SimCtx<'a, M> {
-    me: PeerId,
-    num_peers: usize,
-    input_len: usize,
-    handle: &'a SourceHandle,
-    rng: &'a mut StdRng,
-    outbox: &'a mut Vec<(PeerId, M)>,
-}
-
-impl<M: ProtocolMessage> Context<M> for SimCtx<'_, M> {
-    fn me(&self) -> PeerId {
-        self.me
-    }
-    fn num_peers(&self) -> usize {
-        self.num_peers
-    }
-    fn input_len(&self) -> usize {
-        self.input_len
-    }
-    fn send(&mut self, to: PeerId, msg: M) {
-        self.outbox.push((to, msg));
-    }
-    fn query(&mut self, index: usize) -> bool {
-        self.handle.query(index)
-    }
-    fn query_range(&mut self, range: std::ops::Range<usize>) -> BitArray {
-        // Bulk path: one meter update + word-level copy instead of the
-        // default per-bit loop. Identical cost accounting and results.
-        self.handle.query_range(range)
-    }
-    fn rng(&mut self) -> &mut dyn RngCore {
-        self.rng
-    }
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
@@ -94,26 +73,31 @@ pub struct Simulation<M: ProtocolMessage> {
     /// built with `SimBuilder::streaming_source`).
     pub(crate) input: Option<BitArray>,
     pub(crate) source: SharedSource,
-    pub(crate) agents: Vec<Box<dyn Agent<M>>>,
+    /// Authoritative per-peer status — the shared read-only core every
+    /// adversary `View` borrows. Lifecycle bits are mirrored into the
+    /// owning lane's `LaneFlags` at every transition.
     pub(crate) status: Vec<PeerStatus>,
     pub(crate) adversary: Box<dyn Adversary<M>>,
-    pub(crate) rngs: Vec<StdRng>,
     pub(crate) adv_rng: StdRng,
     pub(crate) max_events: u64,
-    handles: Vec<SourceHandle>,
+    /// Per-shard mutable peer state: peer `p` lives in lane
+    /// `p % lanes.len()` at slot `p / lanes.len()`.
+    lanes: Vec<Lane<M>>,
     pump: EventPump<M>,
+    /// Executor for parallel window batches; `None` keeps every window on
+    /// the calling thread through the identical two-pass path disabled.
+    pub(crate) executor: Option<Arc<dyn WindowExecutor>>,
+    /// Minimum unserved window size worth fanning out to workers; smaller
+    /// windows stay on the serial pop path.
+    pub(crate) parallel_window_min: usize,
     held: Vec<HeldMessage>,
-    /// Messages that arrived at a peer before its start event, waiting
-    /// for it to begin (a peer cannot take a step before it starts).
-    /// Entries are `(from, slot)` into the payload slab.
-    pre_start: Vec<Vec<(PeerId, u32)>>,
     /// Count of peers that are currently nonfaulty and not terminated.
     /// Maintained incrementally at crash and termination transitions so
     /// the run loop's stop check is O(1) instead of an O(k) scan.
     pending_nonfaulty: usize,
-    /// Step outbox reused across `process_event` calls (empty between
-    /// steps), so each event-handler invocation starts from retained
-    /// capacity instead of a fresh allocation.
+    /// Step outbox reused across serial `process_event` calls (empty
+    /// between steps), so each event-handler invocation starts from
+    /// retained capacity instead of a fresh allocation.
     outbox_scratch: Vec<(PeerId, M)>,
     /// `HeldInfo` buffer reused across `release_held` calls.
     held_infos: Vec<HeldInfo>,
@@ -143,10 +127,6 @@ impl<M: ProtocolMessage> Simulation<M> {
         slab_capacity: u32,
     ) -> Self {
         let k = params.k();
-        let handles = (0..k).map(|p| source.handle(PeerId(p))).collect();
-        let rngs = (0..k)
-            .map(|p| StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(p as u64)))
-            .collect();
         let byz = roles.iter().filter(|r| **r == PeerRole::Byzantine).count();
         assert!(
             byz <= params.b(),
@@ -164,20 +144,41 @@ impl<M: ProtocolMessage> Simulation<M> {
                 params.b()
             );
         }
+        let mut lanes: Vec<Lane<M>> = (0..shards)
+            .map(|s| Lane {
+                shard: s,
+                num_shards: shards,
+                agents: Vec::new(),
+                rngs: Vec::new(),
+                pre_start: Vec::new(),
+                flags: Vec::new(),
+                delta: source.meter().delta(s, shards),
+                source: source.source_arc(),
+                spare_outboxes: Vec::new(),
+            })
+            .collect();
+        for (p, agent) in agents.into_iter().enumerate() {
+            let lane = &mut lanes[p % shards];
+            lane.agents.push(agent);
+            lane.rngs.push(StdRng::seed_from_u64(
+                seed.wrapping_mul(0x9e37_79b9).wrapping_add(p as u64),
+            ));
+            lane.pre_start.push(Vec::new());
+            lane.flags.push(LaneFlags::default());
+        }
         Simulation {
             params,
             input,
             source,
-            agents,
             status: roles.into_iter().map(PeerStatus::new).collect(),
             adversary,
-            rngs,
             adv_rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
             max_events,
-            handles,
+            lanes,
             pump: EventPump::new(shards, slab_capacity),
+            executor: None,
+            parallel_window_min: 32,
             held: Vec::new(),
-            pre_start: (0..k).map(|_| Vec::new()).collect(),
             // Nobody has crashed or terminated yet, so every honest peer
             // is pending.
             pending_nonfaulty: k - byz,
@@ -223,6 +224,12 @@ impl<M: ProtocolMessage> Simulation<M> {
         &self.params
     }
 
+    /// The lane and lane-local slot owning `peer`.
+    fn lane_slot(&self, peer: PeerId) -> (usize, usize) {
+        let shards = self.lanes.len();
+        (peer.index() % shards, peer.index() / shards)
+    }
+
     fn push_event(&mut self, at: Ticks, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -249,15 +256,17 @@ impl<M: ProtocolMessage> Simulation<M> {
             self.pending_nonfaulty -= 1;
         }
         st.crashed = true;
+        let (s, slot) = self.lane_slot(peer);
+        self.lanes[s].flags[slot].crashed = true;
         let now = self.now;
         self.record(TraceEntry::Crash { at: now, peer });
         // A crashed peer never starts, so anything parked in its pre-start
         // buffer can never be delivered or dropped through the normal
         // paths — free those slots now instead of leaking them for the
         // rest of the run.
-        let waiting = std::mem::take(&mut self.pre_start[peer.index()]);
-        for (from, slot) in waiting {
-            drop(self.pump.take_payload(peer, slot));
+        let waiting = std::mem::take(&mut self.lanes[s].pre_start[slot]);
+        for (from, pslot) in waiting {
+            drop(self.pump.take_payload(peer, pslot));
             self.record(TraceEntry::Drop {
                 at: now,
                 from,
@@ -273,15 +282,18 @@ impl<M: ProtocolMessage> Simulation<M> {
     }
 
     /// Charges and schedules the outgoing batch of one step, applying the
-    /// adversary's mid-send crash cut if any. Consumes (and hands back)
-    /// the step outbox left in `outbox_scratch` by `process_event`.
+    /// adversary's mid-send crash cut if any. Drains `outbox` (handing the
+    /// buffer back with retained capacity).
     ///
     /// # Errors
     ///
     /// Returns [`RunError::SlabOverflow`] if storing a payload would grow
     /// a message slab past its configured capacity.
-    fn dispatch_outbox(&mut self, peer: PeerId) -> Result<(), RunError> {
-        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+    fn dispatch_outbox(
+        &mut self,
+        peer: PeerId,
+        outbox: &mut Vec<(PeerId, M)>,
+    ) -> Result<(), RunError> {
         if !self.status[peer.index()].crashed {
             let cut = {
                 let view = View {
@@ -374,8 +386,6 @@ impl<M: ProtocolMessage> Simulation<M> {
                 }
             }
         }
-        // Hand the (drained) buffer back for the next step.
-        self.outbox_scratch = outbox;
         Ok(())
     }
 
@@ -384,10 +394,8 @@ impl<M: ProtocolMessage> Simulation<M> {
     /// `None` if the event was dropped (peer crashed, terminated, or
     /// crashed by the adversary just now).
     fn process_event(&mut self, kind: EventKind) -> Option<PeerId> {
-        let to = match kind {
-            EventKind::Start(p) => p,
-            EventKind::Deliver { to, .. } => to,
-        };
+        let to = kind.subject();
+        let (s, slot) = self.lane_slot(to);
         let st = &self.status[to.index()];
         if st.crashed || st.terminated {
             if let EventKind::Deliver { from, to, slot } = kind {
@@ -403,8 +411,11 @@ impl<M: ProtocolMessage> Simulation<M> {
         // (equivalent to the adversary delaying them until the recipient
         // is awake).
         if !st.started {
-            if let EventKind::Deliver { from, slot, .. } = kind {
-                self.pre_start[to.index()].push((from, slot));
+            if let EventKind::Deliver {
+                from, slot: pslot, ..
+            } = kind
+            {
+                self.lanes[s].pre_start[slot].push((from, pslot));
                 return None;
             }
         }
@@ -444,39 +455,63 @@ impl<M: ProtocolMessage> Simulation<M> {
                 Some((from, msg))
             }
         };
+        if is_start {
+            self.status[to.index()].started = true;
+        }
         debug_assert!(self.outbox_scratch.is_empty());
         {
-            let agent = &mut self.agents[to.index()];
-            let mut ctx = SimCtx {
+            let Lane {
+                agents,
+                rngs,
+                flags,
+                delta,
+                source,
+                ..
+            } = &mut self.lanes[s];
+            let mut ctx = LaneCtx {
                 me: to,
                 num_peers: self.params.k(),
                 input_len: self.params.n(),
-                handle: &self.handles[to.index()],
-                rng: &mut self.rngs[to.index()],
+                source: &**source,
+                delta,
+                rng: &mut rngs[slot],
                 outbox: &mut self.outbox_scratch,
             };
             match delivery {
                 None => {
-                    self.status[to.index()].started = true;
-                    agent.on_start(&mut ctx);
+                    flags[slot].started = true;
+                    agents[slot].on_start(&mut ctx);
                 }
                 Some((from, msg)) => {
-                    agent.on_message(from, msg, &mut ctx);
+                    agents[slot].on_message(from, msg, &mut ctx);
                 }
             }
         }
+        // Serial steps keep the shared meter current at step granularity:
+        // one atomic merge per touched peer per step (cheaper than the old
+        // per-query atomics, identical totals and per-peer index order).
+        self.source.meter().fold(&mut self.lanes[s].delta);
         if is_start {
             // Deliver anything that arrived before the peer woke up,
             // immediately after its start step, in arrival order.
-            let waiting = std::mem::take(&mut self.pre_start[to.index()]);
-            for (from, slot) in waiting {
+            let waiting = std::mem::take(&mut self.lanes[s].pre_start[slot]);
+            for (from, pslot) in waiting {
                 let now = self.now;
-                self.push_event(now, EventKind::Deliver { from, to, slot });
+                self.push_event(
+                    now,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        slot: pslot,
+                    },
+                );
             }
         }
         let was_terminated = self.status[to.index()].terminated;
-        self.status[to.index()].terminated = self.agents[to.index()].is_terminated();
-        if !was_terminated && self.status[to.index()].terminated {
+        let terminated = self.lanes[s].agents[slot].is_terminated();
+        self.status[to.index()].terminated = terminated;
+        self.lanes[s].flags[slot].terminated = terminated;
+        if !was_terminated && terminated {
             if self.status[to.index()].is_nonfaulty() {
                 self.pending_nonfaulty -= 1;
             }
@@ -484,6 +519,17 @@ impl<M: ProtocolMessage> Simulation<M> {
             self.record(TraceEntry::Terminate { at: now, peer: to });
         }
         Some(to)
+    }
+
+    /// Whether window batches may fan out to worker threads at all for
+    /// this run: needs an executor, more than one shard, no trace
+    /// recording (lanes don't record), and an adversary whose crash hooks
+    /// are inert (see [`Adversary::parallel_safe`]).
+    fn parallel_eligible(&self) -> bool {
+        self.executor.is_some()
+            && self.pump.num_shards() > 1
+            && self.trace.is_none()
+            && self.adversary.parallel_safe()
     }
 
     /// Runs the execution to completion.
@@ -497,14 +543,18 @@ impl<M: ProtocolMessage> Simulation<M> {
     /// [`RunError::SlabOverflow`] if a payload slab hits its configured
     /// slot capacity.
     pub fn run(mut self) -> Result<RunReport, RunError> {
-        // The adversary decides when every peer starts (no simultaneous
-        // start assumption).
+        // The adversary decides when every peer starts (any finite offset;
+        // there is no simultaneous-start assumption).
         for p in 0..self.params.k() {
-            // The adversary decides when each peer starts (any finite
-            // offset; there is no simultaneous-start assumption).
             let offset = self.adversary.start_offset(PeerId(p), &mut self.adv_rng);
             self.push_event(offset, EventKind::Start(PeerId(p)));
         }
+        let executor = if self.parallel_eligible() {
+            self.executor.clone()
+        } else {
+            None
+        };
+        let window_min = self.parallel_window_min.max(1);
         loop {
             debug_assert_eq!(
                 self.pending_nonfaulty == 0,
@@ -519,11 +569,21 @@ impl<M: ProtocolMessage> Simulation<M> {
                     limit: self.max_events,
                 });
             }
+            if let Some(ex) = &executor {
+                if let Some(window) = self.pump.take_window_at_least(window_min) {
+                    self.now = self.now.max(window[0].at);
+                    self.run_window(window, &**ex)?;
+                    continue;
+                }
+            }
             match self.pump.pop() {
                 Some(ev) => {
                     self.now = self.now.max(ev.at);
                     if let Some(peer) = self.process_event(ev.kind) {
-                        self.dispatch_outbox(peer)?;
+                        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+                        let dispatched = self.dispatch_outbox(peer, &mut outbox);
+                        self.outbox_scratch = outbox;
+                        dispatched?;
                     }
                 }
                 None => {
@@ -548,6 +608,194 @@ impl<M: ProtocolMessage> Simulation<M> {
         Ok(self.into_report())
     }
 
+    /// Executes one taken window through the two-pass scheme: pass 1 fans
+    /// per-shard honest-subject batches out to `executor` (each job owning
+    /// its lane and slab outright), pass 2 serially replays the global
+    /// bookkeeping in seq order — including running Byzantine-subject
+    /// events through the ordinary serial path. See `lane.rs` for why
+    /// this is bit-identical to popping the window one event at a time.
+    fn run_window(
+        &mut self,
+        window: Vec<QueuedEvent>,
+        executor: &dyn WindowExecutor,
+    ) -> Result<(), RunError> {
+        let num_shards = self.lanes.len();
+        // Partition honest-subject events per shard, preserving seq order.
+        let mut shard_events: Vec<Vec<QueuedEvent>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for ev in &window {
+            let subject = ev.kind.subject();
+            if self.status[subject.index()].role == PeerRole::Honest {
+                shard_events[subject.index() % num_shards].push(*ev);
+            }
+        }
+        // Pass 1: move each participating shard's lane and slab into a
+        // job; results come home through per-shard slots.
+        type LaneResult<M> = Option<(Lane<M>, MsgSlab<M>, Vec<Pass1Outcome<M>>)>;
+        let results: Arc<Mutex<Vec<LaneResult<M>>>> =
+            Arc::new(Mutex::new((0..num_shards).map(|_| None).collect()));
+        let params = self.params;
+        let mut lent = vec![false; num_shards];
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for (s, events) in shard_events.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            #[cfg(debug_assertions)]
+            self.assert_lane_mirrors(s);
+            lent[s] = true;
+            let vacated = self.lanes[s].vacated();
+            let mut lane = std::mem::replace(&mut self.lanes[s], vacated);
+            let mut slab = self.pump.take_slab(s);
+            let slots = Arc::clone(&results);
+            jobs.push(Box::new(move || {
+                let outcomes = lane.run_window(&mut slab, &events, &params);
+                slots.lock()[s] = Some((lane, slab, outcomes));
+            }));
+        }
+        executor.run_jobs(jobs);
+        // Bring lanes and slabs home and fold each shard's meter delta:
+        // one atomic merge per touched peer per shard per window instead
+        // of one per query. Peers never move between shards, so per-peer
+        // index-log order is untouched by the shard fold order.
+        let mut outcomes: Vec<std::vec::IntoIter<Pass1Outcome<M>>> =
+            (0..num_shards).map(|_| Vec::new().into_iter()).collect();
+        {
+            let mut slots = results.lock();
+            for (s, was_lent) in lent.iter().enumerate() {
+                if !was_lent {
+                    continue;
+                }
+                let (lane, slab, outs) = slots[s]
+                    .take()
+                    .expect("window executor finished without running every job");
+                self.lanes[s] = lane;
+                self.pump.put_slab(s, slab);
+                self.source.meter().fold(&mut self.lanes[s].delta);
+                outcomes[s] = outs.into_iter();
+            }
+        }
+        // Pass 2: replay global bookkeeping in seq order with the serial
+        // loop's exact per-event stop/guard checks.
+        for (i, ev) in window.iter().enumerate() {
+            if self.pending_nonfaulty == 0 {
+                self.free_unreached_window(&window[i..], &mut outcomes);
+                break;
+            }
+            if self.events >= self.max_events {
+                return Err(RunError::EventLimitExceeded {
+                    limit: self.max_events,
+                });
+            }
+            let subject = ev.kind.subject();
+            if self.status[subject.index()].role == PeerRole::Byzantine {
+                // Byzantine steps run serially: the serial loop may stop
+                // mid-window, and a Byzantine handler it would never have
+                // run must not run here either.
+                if let Some(peer) = self.process_event(ev.kind) {
+                    let mut outbox = std::mem::take(&mut self.outbox_scratch);
+                    let dispatched = self.dispatch_outbox(peer, &mut outbox);
+                    self.outbox_scratch = outbox;
+                    dispatched?;
+                }
+                continue;
+            }
+            let s = subject.index() % num_shards;
+            match outcomes[s]
+                .next()
+                .expect("pass-1 outcome missing for honest window event")
+            {
+                Pass1Outcome::Dropped | Pass1Outcome::Parked => {}
+                Pass1Outcome::Stepped {
+                    is_start,
+                    mut outbox,
+                    flush,
+                    terminated_after,
+                } => {
+                    self.status[subject.index()].events_processed += 1;
+                    self.events += 1;
+                    if is_start {
+                        self.status[subject.index()].started = true;
+                        // Re-enqueue pre-start arrivals at the current
+                        // tick — the same-tick window append, with the
+                        // same seq stamps the serial loop would allocate.
+                        for (from, pslot) in flush {
+                            let now = self.now;
+                            self.push_event(
+                                now,
+                                EventKind::Deliver {
+                                    from,
+                                    to: subject,
+                                    slot: pslot,
+                                },
+                            );
+                        }
+                    }
+                    let was_terminated = self.status[subject.index()].terminated;
+                    self.status[subject.index()].terminated = terminated_after;
+                    if !was_terminated
+                        && terminated_after
+                        && self.status[subject.index()].is_nonfaulty()
+                    {
+                        self.pending_nonfaulty -= 1;
+                    }
+                    let dispatched = self.dispatch_outbox(subject, &mut outbox);
+                    outbox.clear();
+                    self.lanes[s].spare_outboxes.push(outbox);
+                    dispatched?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Frees the payload slots of window events past the serial stop
+    /// point (`pending_nonfaulty == 0` mid-window). The serial loop would
+    /// have left these queued for the end-of-run drain; the parallel path
+    /// already took them out of the pump, so it frees them here instead.
+    /// Honest events past the stop point were necessarily `Dropped` by
+    /// their lanes (every honest peer had terminated at an earlier seq),
+    /// so only unprocessed Byzantine deliveries still own slots.
+    fn free_unreached_window(
+        &mut self,
+        rest: &[QueuedEvent],
+        outcomes: &mut [std::vec::IntoIter<Pass1Outcome<M>>],
+    ) {
+        let num_shards = self.lanes.len();
+        for ev in rest {
+            let subject = ev.kind.subject();
+            if self.status[subject.index()].role == PeerRole::Byzantine {
+                if let EventKind::Deliver { to, slot, .. } = ev.kind {
+                    drop(self.pump.take_payload(to, slot));
+                }
+            } else if let Some(Pass1Outcome::Stepped { flush, outbox, .. }) =
+                outcomes[subject.index() % num_shards].next()
+            {
+                // Unreachable when every honest peer has terminated, but
+                // free defensively: an unapplied step's flushed pre-start
+                // slots would otherwise leak, and its outbox is dropped
+                // exactly as the serial loop would never have sent it.
+                drop(outbox);
+                for (_, pslot) in flush {
+                    drop(self.pump.take_payload(subject, pslot));
+                }
+            }
+        }
+    }
+
+    /// Debug-build check that a lane's lifecycle-flag mirror agrees with
+    /// the authoritative statuses before the lane is lent to a worker.
+    #[cfg(debug_assertions)]
+    fn assert_lane_mirrors(&self, s: usize) {
+        let lane = &self.lanes[s];
+        for (slot, flags) in lane.flags.iter().enumerate() {
+            let peer = slot * self.lanes.len() + s;
+            assert!(
+                flags.mirrors(&self.status[peer]),
+                "lane {s} flags out of sync with status for peer {peer}"
+            );
+        }
+    }
+
     /// Debug-build invariant: at the end of a successful run every slab
     /// slot is owned by a still-pending queue event, held message, or
     /// pre-start buffer entry — after draining those, zero payloads may
@@ -555,26 +803,28 @@ impl<M: ProtocolMessage> Simulation<M> {
     /// cancelled delivery) that release builds would silently accumulate.
     #[cfg(debug_assertions)]
     fn assert_no_leaked_slots(&mut self) {
-        for (i, st) in self.status.iter().enumerate() {
-            if st.crashed {
-                assert!(
-                    self.pre_start[i].is_empty(),
-                    "slab leak: crashed peer {i} still owns pre-start slots"
-                );
-            }
-        }
+        let shards = self.lanes.len();
         while let Some(ev) = self.pump.pop() {
             if let EventKind::Deliver { to, slot, .. } = ev.kind {
                 drop(self.pump.take_payload(to, slot));
             }
         }
-        for h in self.held.drain(..) {
+        for h in std::mem::take(&mut self.held) {
             drop(self.pump.take_payload(h.to, h.slot));
         }
-        let buffers = std::mem::take(&mut self.pre_start);
-        for (i, buf) in buffers.into_iter().enumerate() {
-            for (_, slot) in buf {
-                drop(self.pump.take_payload(PeerId(i), slot));
+        for s in 0..shards {
+            let buffers = std::mem::take(&mut self.lanes[s].pre_start);
+            for (slot_idx, buf) in buffers.into_iter().enumerate() {
+                let peer = PeerId(slot_idx * shards + s);
+                if self.status[peer.index()].crashed {
+                    assert!(
+                        buf.is_empty(),
+                        "slab leak: crashed peer {peer} still owns pre-start slots"
+                    );
+                }
+                for (_, pslot) in buf {
+                    drop(self.pump.take_payload(peer, pslot));
+                }
             }
         }
         assert_eq!(
@@ -636,8 +886,15 @@ impl<M: ProtocolMessage> Simulation<M> {
         }
     }
 
-    fn into_report(self) -> RunReport {
+    fn into_report(mut self) -> RunReport {
         let k = self.params.k();
+        let shards = self.lanes.len();
+        // Every delta should already be folded (serial steps fold per
+        // event, parallel windows at the barrier); fold defensively so the
+        // meter is provably complete before it is read.
+        for lane in &mut self.lanes {
+            self.source.meter().fold(&mut lane.delta);
+        }
         let mut nonfaulty = PeerSet::new(k);
         let mut crashed = PeerSet::new(k);
         let mut byzantine = PeerSet::new(k);
@@ -665,7 +922,9 @@ impl<M: ProtocolMessage> Simulation<M> {
         });
         let max_nonfaulty_queries = self.source.meter().max_over(nonfaulty.iter());
         RunReport {
-            outputs: self.agents.iter().map(|a| a.output().cloned()).collect(),
+            outputs: (0..k)
+                .map(|p| self.lanes[p % shards].agents[p / shards].output().cloned())
+                .collect(),
             nonfaulty,
             crashed,
             byzantine,
@@ -680,6 +939,8 @@ impl<M: ProtocolMessage> Simulation<M> {
             quiescence_releases: self.quiescence_releases,
             peak_queue_len: self.pump.peak_queued() as u64,
             peak_slab_len: self.pump.peak_live() as u64,
+            peak_queue_lens: self.pump.peak_queued_per_shard(),
+            peak_slab_lens: self.pump.peak_live_per_shard(),
             trace: self.trace,
         }
     }
