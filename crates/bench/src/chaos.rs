@@ -13,7 +13,8 @@
 //!    paper-bound [`CostEnvelope`].
 //!
 //! On a violation the schedule is shrunk — delta-debugging the crash
-//! directives, mid-send cuts, held sends, and partial releases down to a
+//! directives, mid-send cuts, held sends, partial releases, partition
+//! and churn directives, and dropped transmissions down to a
 //! 1-minimal failing [`ScheduleTrace`] — and written to
 //! `chaos_repro_<hash>.json`, which [`replay_repro`] plays back
 //! bit-identically.
@@ -33,7 +34,8 @@ use dr_protocols::{
 };
 use dr_sim::{AdaptiveCrasher, ChaosAdversary, ChaosConfig, HoldUntilQuiescence};
 use dr_sim::{
-    Agent, RecordingAdversary, ReplayAdversary, ScheduleTrace, SilentAgent, SimBuilder, TraceHandle,
+    Agent, ChurnMixer, LossyLinks, PartitionHealer, RecordingAdversary, ReplayAdversary,
+    ScheduleTrace, SilentAgent, SimBuilder, TraceHandle,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -91,6 +93,15 @@ pub enum AdversaryKind {
     ChaosMild,
     /// [`ChaosAdversary`] with [`ChaosConfig::aggressive`].
     ChaosAggressive,
+    /// [`PartitionHealer`]: two successive seed-derived cuts that heal on
+    /// schedule, parking (not losing) every message across them.
+    PartitionHealer,
+    /// [`LossyLinks`]: seeded per-link drop rates with bounded
+    /// backed-off retransmission.
+    LossyLinks,
+    /// [`ChurnMixer`]: peers leave and rejoin; deliveries addressed to an
+    /// absent peer defer to its rejoin tick.
+    ChurnMixer,
 }
 
 impl AdversaryKind {
@@ -101,6 +112,9 @@ impl AdversaryKind {
             AdversaryKind::HoldHeavy => "hold_heavy",
             AdversaryKind::ChaosMild => "chaos_mild",
             AdversaryKind::ChaosAggressive => "chaos_aggressive",
+            AdversaryKind::PartitionHealer => "partition_healer",
+            AdversaryKind::LossyLinks => "lossy_links",
+            AdversaryKind::ChurnMixer => "churn_mixer",
         }
     }
 }
@@ -118,9 +132,31 @@ pub struct CaseConfig {
     pub k: usize,
     /// Fault budget.
     pub b: usize,
+    /// Nominal per-link drop rate in permille for [`LossyLinks`] cases;
+    /// `0` means the campaign default (150‰). Ignored by other
+    /// adversaries.
+    pub drop_permille: u16,
 }
 
 impl CaseConfig {
+    /// Heal horizon (time units) of [`PartitionHealer`] cases.
+    const HEAL_UNITS: u64 = 3;
+
+    /// The effective [`LossyLinks`] drop rate: the field, or the campaign
+    /// default of 150‰ when unset.
+    pub fn effective_drop_permille(&self) -> u16 {
+        if self.drop_permille == 0 {
+            150
+        } else {
+            self.drop_permille
+        }
+    }
+
+    /// Churners of a [`ChurnMixer`] case: one per eight peers, at least
+    /// one.
+    pub fn churner_count(&self) -> usize {
+        (self.k / 8).max(1)
+    }
     /// Byzantine peers actually instantiated (silent): for
     /// Byzantine-model protocols, half the budget rounded up; the rest of
     /// `b` is left to the adversary as crash budget, exercising the joint
@@ -145,6 +181,31 @@ impl CaseConfig {
     }
 
     fn envelope(&self) -> CostEnvelope {
+        let mut env = self.base_envelope();
+        // Link faults stretch T through no fault of the protocol; widen
+        // the envelope by the adversary's worst-case link delay. Q is
+        // untouched — parking, resending, and deferring never change what
+        // a peer queries.
+        match self.adversary {
+            // Every delivery can park until the last heal
+            // (`HEAL_UNITS`); one extra unit of margin for the in-flight
+            // latency added on top of the heal tick.
+            AdversaryKind::PartitionHealer => env.t_link_slack += Self::HEAL_UNITS as f64 + 1.0,
+            // A resend adds at most one backoff clamp (2 units) plus one
+            // latency unit to the critical path.
+            AdversaryKind::LossyLinks => env.t_per_retry += 3.0,
+            // Deliveries defer until the last rejoin tick: leave windows
+            // stagger by half a unit per churner, plus a rejoin span of
+            // up to two units and margin.
+            AdversaryKind::ChurnMixer => {
+                env.t_link_slack += 0.5 * self.churner_count() as f64 + 3.0;
+            }
+            _ => {}
+        }
+        env
+    }
+
+    fn base_envelope(&self) -> CostEnvelope {
         match self.protocol {
             ProtocolKind::CrashSingle => SingleCrashDownload::cost_envelope(self.n, self.k),
             ProtocolKind::CrashMulti => CrashMultiDownload::cost_envelope(self.n, self.k, self.b),
@@ -157,6 +218,8 @@ impl CaseConfig {
                 q_max: 4 * self.n as u64 + 64,
                 t_base: 1e9,
                 t_per_release: 8.0,
+                t_per_retry: 0.0,
+                t_link_slack: 0.0,
             },
         }
     }
@@ -217,6 +280,15 @@ fn make_recorded<M: ProtocolMessage>(
             }
             AdversaryKind::ChaosAggressive => {
                 RecordingAdversary::new(ChaosAdversary::new(seed, ChaosConfig::aggressive(budget)))
+            }
+            AdversaryKind::PartitionHealer => {
+                RecordingAdversary::new(PartitionHealer::new(case.k, seed, CaseConfig::HEAL_UNITS))
+            }
+            AdversaryKind::LossyLinks => {
+                RecordingAdversary::new(LossyLinks::new(seed, case.effective_drop_permille()))
+            }
+            AdversaryKind::ChurnMixer => {
+                RecordingAdversary::new(ChurnMixer::new(case.k, seed, case.churner_count()))
             }
         },
     }
@@ -320,6 +392,9 @@ pub fn default_cases() -> Vec<CaseConfig> {
     let sizes: &[(ProtocolKind, usize, usize, usize)] = &[
         (ProtocolKind::CrashSingle, 96, 6, 1),
         (ProtocolKind::CrashMulti, 128, 8, 3),
+        // A wider crash-multi row so churn (one churner per eight peers)
+        // and the seeded partition splits see a second peer-count regime.
+        (ProtocolKind::CrashMulti, 192, 12, 2),
         (ProtocolKind::Committee, 64, 7, 2),
         // Small sizes collapse the cycle protocols to the naive plan…
         (ProtocolKind::TwoCycle, 64, 8, 1),
@@ -333,6 +408,9 @@ pub fn default_cases() -> Vec<CaseConfig> {
         AdversaryKind::HoldHeavy,
         AdversaryKind::ChaosMild,
         AdversaryKind::ChaosAggressive,
+        AdversaryKind::PartitionHealer,
+        AdversaryKind::LossyLinks,
+        AdversaryKind::ChurnMixer,
     ];
     for &(protocol, n, k, b) in sizes {
         for &adversary in &advs {
@@ -342,6 +420,7 @@ pub fn default_cases() -> Vec<CaseConfig> {
                 n,
                 k,
                 b,
+                drop_permille: 0,
             });
         }
     }
@@ -504,8 +583,10 @@ pub fn load_repro(path: &Path) -> Result<ChaosRepro, String> {
 
 /// Shrinks the failing run `(case, seed)` to a 1-minimal failing
 /// schedule: repeatedly tries dropping crash directives and mid-send
-/// cuts, delivering held sends, and widening partial releases to
-/// release-all; an edit is kept whenever the replay still violates an
+/// cuts, delivering held sends, widening partial releases to
+/// release-all, healing partition and churn directives, and flipping
+/// dropped transmissions back to delivered; an edit is kept whenever
+/// the replay still violates an
 /// invariant. Each kept candidate is replaced by its *re-recorded* trace,
 /// so the final schedule is a fixed point of replay (bit-identical
 /// reproduction). Returns `None` if the run does not fail.
@@ -565,6 +646,40 @@ pub fn shrink_failing(case: &CaseConfig, seed: u64) -> Option<ChaosRepro> {
             if best.trace.releases.get(i).is_some_and(|r| r.is_some()) {
                 let mut cand = best.trace.clone();
                 cand.releases[i] = None;
+                improved |= try_edit(&mut best, cand);
+            }
+        }
+        // 5. Drop partition directives (heal the cut entirely).
+        let mut i = best.trace.partitions.len();
+        while i > 0 {
+            i -= 1;
+            if i >= best.trace.partitions.len() {
+                continue;
+            }
+            let mut cand = best.trace.clone();
+            cand.partitions.remove(i);
+            improved |= try_edit(&mut best, cand);
+        }
+        // 6. Drop churn directives (keep the peer present throughout).
+        let mut i = best.trace.churn.len();
+        while i > 0 {
+            i -= 1;
+            if i >= best.trace.churn.len() {
+                continue;
+            }
+            let mut cand = best.trace.clone();
+            cand.churn.remove(i);
+            improved |= try_edit(&mut best, cand);
+        }
+        // 7. Heal dropped transmissions (flip recorded drops to
+        // transmits). The trace stays lossy — `transmits` keeps its
+        // length — so the replay's consult positions still align.
+        let mut i = best.trace.transmits.len();
+        while i > 0 {
+            i -= 1;
+            if best.trace.transmits.get(i) == Some(&false) {
+                let mut cand = best.trace.clone();
+                cand.transmits[i] = true;
                 improved |= try_edit(&mut best, cand);
             }
         }
@@ -729,6 +844,7 @@ mod tests {
                 n: 64,
                 k: 4,
                 b: 0,
+                drop_permille: 0,
             },
             seed: 17,
             violation: "download: wrong bit".into(),
@@ -739,6 +855,7 @@ mod tests {
                 releases: vec![None],
                 crashes: vec![],
                 cuts: vec![],
+                ..Default::default()
             },
         };
         let text = serde::json::to_string_pretty(&repro);
@@ -757,6 +874,7 @@ mod tests {
                 n: 64,
                 k: 4,
                 b: 0,
+                drop_permille: 0,
             };
             let outcome = run_case(&case, seed, AdvSource::Fresh);
             assert_eq!(outcome.violation, None, "seed {seed}");
@@ -771,6 +889,7 @@ mod tests {
             n: 64,
             k: 8,
             b: 2,
+            drop_permille: 0,
         };
         assert_eq!(case.byz_count(), 1);
         assert_eq!(case.crash_budget(), 1);

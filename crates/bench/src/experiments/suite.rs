@@ -6,8 +6,8 @@
 //!   [`super::run_all_metered`] except the perf trackers `hotpath` and
 //!   `sim_scaling`, which time themselves), run back to back exactly as
 //!   `dr experiments` would;
-//! * **chaos** — the default fault-injection campaign, 28 cases × 18
-//!   seeds = 504 runs (see [`crate::chaos::default_cases`]).
+//! * **chaos** — the default fault-injection campaign, 56 cases × 18
+//!   seeds = 1008 runs (see [`crate::chaos::default_cases`]).
 //!
 //! Each unit runs at plane thread count 1 and, when the machine has
 //! more than one core, at `ncpu` (with the chaos sweep additionally

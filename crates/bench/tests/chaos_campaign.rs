@@ -13,13 +13,15 @@ use dr_bench::chaos::{
 
 #[test]
 fn campaign_over_all_protocols_holds_invariants() {
-    // 28 cases (crash single/multi, committee, two-cycle and multi-cycle in
-    // naive and sampled sizes, × 4 adversary kinds) × 18 seeds = 504 runs.
+    // 56 cases (crash single and two multi sizes, committee, two-cycle and
+    // multi-cycle in naive and sampled sizes, × 7 adversary kinds — the
+    // crash/hold/chaos quartet plus the link-fault trio) × 18 seeds
+    // = 1008 runs.
     let mut campaign = Campaign::new(18, 0xc0ffee);
     campaign.out_dir = None;
     let report = run_campaign(&campaign);
     assert!(
-        report.total_runs >= 500,
+        report.total_runs >= 900,
         "campaign too small: {} runs",
         report.total_runs
     );
@@ -47,6 +49,7 @@ fn fragile_case() -> CaseConfig {
         n: 64,
         k: 4,
         b: 0,
+        drop_permille: 0,
     }
 }
 

@@ -16,7 +16,10 @@
 
 use dr_bench::runners::{self, ByzMix, PumpMode};
 use dr_protocols::CommitteeDownload;
-use dr_sim::{RecordingAdversary, ReplayAdversary, SilentAgent, SimBuilder, StandardAdversary};
+use dr_sim::{
+    ChurnMixer, LossyLinks, PartitionHealer, RecordingAdversary, ReplayAdversary, SilentAgent,
+    SimBuilder, StandardAdversary,
+};
 use proptest::prelude::*;
 
 /// The pump grid the suite promises bit-identity over.
@@ -114,6 +117,45 @@ fn parallel_dispatch_reproduces_the_pre_rewrite_goldens() {
             got, GOLDEN_TWO_CYCLE[i],
             "two_cycle seed={seed}: parallel pump diverged from pre-rewrite golden"
         );
+    }
+}
+
+/// Active link faults force the parallel plane to degrade window
+/// dispatch to the serial path (parked, retransmitted, and deferred
+/// deliveries are cross-window effects no lane may reorder): for each of
+/// the three link-fault adversaries, an explicitly parallel pump must
+/// produce the serial fingerprint bit for bit.
+#[test]
+fn link_fault_adversaries_degrade_the_parallel_pump_bit_identically() {
+    let (n, k, t) = (48, 7, 2);
+    let run = |seed: u64, which: usize, pump: PumpMode| {
+        let builder = SimBuilder::new(runners::byz_params(n, k, t))
+            .seed(seed)
+            .protocol(move |_| CommitteeDownload::new(n, k, t))
+            .byzantine(dr_core::PeerId(0), SilentAgent::new());
+        let builder = match which {
+            0 => builder.adversary(PartitionHealer::new(k, seed, 2)),
+            1 => builder.adversary(LossyLinks::new(seed, 200)),
+            _ => builder.adversary(ChurnMixer::new(k, seed, 2)),
+        };
+        pump.apply(builder)
+            .build()
+            .run()
+            .expect("committee terminates under link faults")
+            .fingerprint()
+    };
+    for seed in GOLDEN_SEEDS {
+        for (which, label) in ["partition_healer", "lossy_links", "churn_mixer"]
+            .into_iter()
+            .enumerate()
+        {
+            let serial = run(seed, which, PumpMode::serial());
+            let pumped = run(seed, which, PumpMode::parallel(8, 4));
+            assert_eq!(
+                serial, pumped,
+                "{label} seed={seed}: parallel pump diverged under active link faults"
+            );
+        }
     }
 }
 

@@ -335,6 +335,39 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
         args.num("runs-per-case", 18u64)?,
         args.num("seed", 0xc0ffee)?,
     );
+    // Link-fault plane selectors: any of --partition / --drop-rate /
+    // --churn restricts the campaign to the chosen link-fault adversary
+    // columns (the fault-plane smoke path); --drop-rate additionally
+    // tunes the per-link loss rate of the LossyLinks cases.
+    use dr_bench::chaos::AdversaryKind;
+    let want_partition = args.num("partition", 0u8)? != 0;
+    let want_churn = args.num("churn", 0u8)? != 0;
+    let drop_rate: Option<u16> = match args.get("drop-rate") {
+        Some(_) => Some(args.require_num("drop-rate")?),
+        None => None,
+    };
+    if let Some(rate) = drop_rate {
+        if rate >= 1000 {
+            return Err(ArgError(format!(
+                "--drop-rate is a permille loss rate and must be below 1000, got {rate}"
+            )));
+        }
+    }
+    if want_partition || want_churn || drop_rate.is_some() {
+        campaign.cases.retain(|c| match c.adversary {
+            AdversaryKind::PartitionHealer => want_partition,
+            AdversaryKind::LossyLinks => drop_rate.is_some(),
+            AdversaryKind::ChurnMixer => want_churn,
+            _ => false,
+        });
+        if let Some(rate) = drop_rate {
+            for c in &mut campaign.cases {
+                if matches!(c.adversary, AdversaryKind::LossyLinks) {
+                    c.drop_permille = rate;
+                }
+            }
+        }
+    }
     campaign.shrink = args.num("shrink", 1u8)? != 0;
     campaign.out_dir = Some(args.get_or("out", "chaos_repros").into());
     let pump_threads: usize = args.num("pump-threads", 1)?;

@@ -13,6 +13,7 @@
 //!            [--max-schedules <count>] [--seed <u64>]
 //! dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
 //!            [--shards <count>] [--pump-threads <n>]
+//!            [--partition <0|1>] [--drop-rate <permille>] [--churn <0|1>]
 //!            [--shrink <0|1>] [--replay <chaos_repro_*.json>]
 //! dr lint    [--root <dir>] [--format <text|json>]
 //! dr experiments [--only <name>] [--json <dir>] [--threads <n>] [--trials <n>]
@@ -42,6 +43,8 @@ USAGE:
              [--shards <count>]
   dr chaos   [--runs-per-case <n>] [--seed <u64>] [--out <dir>] [--threads <n>]
              [--shards <count>] [--pump-threads <n>]   parallel window dispatch in the sweep
+             [--partition <0|1>] [--drop-rate <permille>] [--churn <0|1>]
+                                 restrict the sweep to the selected link-fault columns
              [--shrink <0|1>] [--replay <chaos_repro_*.json>]
   dr lint    [--root <dir>] [--format <text|json>]     determinism static analysis
   dr experiments [--json <dir>] [--threads <n>] [--trials <n>]

@@ -166,6 +166,40 @@ fn chaos_duplicate_pump_threads_flag_is_rejected() {
 }
 
 #[test]
+fn chaos_link_fault_flags_restrict_the_sweep() {
+    // All three selectors on, 1 seed per case, no shrinking, repro dir
+    // suppressed via a temp path: the sweep covers exactly the 8 size
+    // rows × 3 link-fault columns = 24 runs and holds every invariant.
+    let out = std::env::temp_dir().join(format!("dr_cli_chaos_{}", std::process::id()));
+    let (ok, stdout, stderr) = dr(&[
+        "chaos",
+        "--runs-per-case",
+        "1",
+        "--partition",
+        "1",
+        "--drop-rate",
+        "200",
+        "--churn",
+        "1",
+        "--shrink",
+        "0",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    std::fs::remove_dir_all(&out).ok();
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("24 cases x 1 runs"), "{stdout}");
+    assert!(stdout.contains("all invariants held"), "{stdout}");
+}
+
+#[test]
+fn chaos_drop_rate_must_be_a_permille() {
+    let (ok, _, stderr) = dr(&["chaos", "--runs-per-case", "1", "--drop-rate", "1000"]);
+    assert!(!ok);
+    assert!(stderr.contains("below 1000"), "{stderr}");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let (ok, _, stderr) = dr(&["frobnicate"]);
     assert!(!ok);

@@ -164,11 +164,15 @@ impl MultiCycleDownload {
                 q_max: n as u64 + 8,
                 t_base: 24.0,
                 t_per_release: 4.0,
+                t_per_retry: 0.0,
+                t_link_slack: 0.0,
             },
             MultiCyclePlan::Sampled { cycles, .. } => crate::CostEnvelope {
                 q_max: 2 * n as u64 + 16,
                 t_base: 16.0 + 8.0 * cycles as f64,
                 t_per_release: 4.0,
+                t_per_retry: 0.0,
+                t_link_slack: 0.0,
             },
         }
     }

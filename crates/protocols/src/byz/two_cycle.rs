@@ -180,6 +180,8 @@ impl TwoCycleDownload {
             q_max,
             t_base: 24.0,
             t_per_release: 4.0,
+            t_per_retry: 0.0,
+            t_link_slack: 0.0,
         }
     }
 

@@ -210,6 +210,8 @@ impl CrashMultiDownload {
             q_max: (2.0 * theory).ceil() as u64 + 16,
             t_base: 16.0 + 8.0 * (b as f64 + 1.0),
             t_per_release: 4.0,
+            t_per_retry: 0.0,
+            t_link_slack: 0.0,
         }
     }
 

@@ -19,7 +19,14 @@ use dr_sim::RunReport;
 use std::fmt;
 
 /// A per-run cost budget: `Q ≤ q_max` and
-/// `T ≤ t_base + t_per_release · quiescence_releases`.
+/// `T ≤ t_base + t_per_release · quiescence_releases
+///        + t_per_retry · retransmissions + t_link_slack`.
+///
+/// The two link-fault terms default to zero in every protocol's paper
+/// envelope; the chaos campaign widens them per adversary (a resend adds
+/// at most one backoff clamp plus one latency unit to the critical path,
+/// and partitions/churn delay deliveries by at most their heal/rejoin
+/// horizon — neither is the protocol's fault).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEnvelope {
     /// Hard cap on `max_nonfaulty_queries`.
@@ -28,6 +35,12 @@ pub struct CostEnvelope {
     pub t_base: f64,
     /// Extra time allowance per compelled quiescence release.
     pub t_per_release: f64,
+    /// Extra time allowance per link-layer resend (zero when the run's
+    /// adversary drops nothing).
+    pub t_per_retry: f64,
+    /// Flat extra time allowance for partition-heal and churn-rejoin
+    /// horizons (zero for fault-free links).
+    pub t_link_slack: f64,
 }
 
 /// A run that left its [`CostEnvelope`].
@@ -67,7 +80,10 @@ impl CostEnvelope {
                 allowed: self.q_max as f64,
             });
         }
-        let t_allowed = self.t_base + self.t_per_release * report.quiescence_releases as f64;
+        let t_allowed = self.t_base
+            + self.t_per_release * report.quiescence_releases as f64
+            + self.t_per_retry * report.retransmissions as f64
+            + self.t_link_slack;
         if report.virtual_time_units > t_allowed {
             return Err(EnvelopeViolation {
                 metric: "T",
@@ -113,6 +129,8 @@ mod tests {
             q_max: 100,
             t_base: 4.0,
             t_per_release: 2.0,
+            t_per_retry: 0.0,
+            t_link_slack: 0.0,
         };
         // Build a fake report shape via a real tiny run, then tweak.
         let (n, k) = (16, 2);

@@ -12,6 +12,7 @@
 //! [`DelayStrategy`] and a [`CrashPlan`]. The lower-bound experiments
 //! implement `Adversary` directly for full adaptive control.
 
+use crate::linkfault::{LinkDecision, LinkFaultPlan};
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::view::View;
 use dr_core::{PeerId, ProtocolMessage};
@@ -122,8 +123,51 @@ pub trait Adversary<M: ProtocolMessage>: Send {
     /// quiescence decisions, RNG draws) runs serially in pass 2 either
     /// way. The default is `false`: adaptive adversaries fall back to the
     /// bit-identical serial pump.
+    ///
+    /// Link faults need no special handling here: an active
+    /// [`link_fault_plan`](Self::link_fault_plan) or
+    /// [`lossy`](Self::lossy) declaration degrades the run to the serial
+    /// pump through the simulator's own eligibility gate regardless of
+    /// this answer.
     fn parallel_safe(&self) -> bool {
         false
+    }
+
+    /// The run's static link-fault declaration: partitions with scheduled
+    /// heal ticks, peer churn windows, and the retransmission policy for
+    /// lossy links. Fetched exactly once at build time and validated
+    /// against the peer count; the default is the trivial plan. Must be a
+    /// pure function of the adversary's configuration (the same plan every
+    /// call) so record/replay stays aligned.
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        LinkFaultPlan::default()
+    }
+
+    /// Whether this adversary drops transmissions — the gate for
+    /// [`on_transmit`](Self::on_transmit) consultations. Must be constant
+    /// for the whole run. Returning `true` degrades the sharded pump to
+    /// the bit-identical serial path (transmission decisions interleave
+    /// with the event order).
+    fn lossy(&self) -> bool {
+        false
+    }
+
+    /// Called for each transmission attempt of a scheduled delivery while
+    /// [`lossy`](Self::lossy) is true: `attempt` 0 is the original send,
+    /// `attempt` `a ≥ 1` the `a`-th backed-off resend. Returning
+    /// [`LinkDecision::Drop`] invokes the retransmission layer (or
+    /// abandons the message once the plan's retry cap is hit). Not
+    /// consulted for quiescence releases or partition-parked deliveries.
+    fn on_transmit(
+        &mut self,
+        view: &View<'_>,
+        from: PeerId,
+        to: PeerId,
+        attempt: u32,
+        rng: &mut StdRng,
+    ) -> LinkDecision {
+        let _ = (view, from, to, attempt, rng);
+        LinkDecision::Transmit
     }
 }
 
@@ -169,6 +213,25 @@ impl<M: ProtocolMessage> Adversary<M> for Box<dyn Adversary<M>> {
 
     fn parallel_safe(&self) -> bool {
         (**self).parallel_safe()
+    }
+
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        (**self).link_fault_plan()
+    }
+
+    fn lossy(&self) -> bool {
+        (**self).lossy()
+    }
+
+    fn on_transmit(
+        &mut self,
+        view: &View<'_>,
+        from: PeerId,
+        to: PeerId,
+        attempt: u32,
+        rng: &mut StdRng,
+    ) -> LinkDecision {
+        (**self).on_transmit(view, from, to, attempt, rng)
     }
 }
 

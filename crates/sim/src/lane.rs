@@ -175,6 +175,13 @@ impl<M: ProtocolMessage> Lane<M> {
                         let msg = slab.take(slot);
                         agent.on_message(from, msg, &mut ctx);
                     }
+                    EventKind::Retransmit { .. } => {
+                        // Retransmit events exist only for lossy runs,
+                        // which the eligibility gate keeps on the serial
+                        // pump; the coordinator also filters them out of
+                        // lane batches defensively.
+                        unreachable!("retransmit event handed to a lane")
+                    }
                 }
             }
             let flush = if is_start {

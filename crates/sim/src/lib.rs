@@ -24,6 +24,7 @@ mod builder;
 pub mod chaos;
 pub mod explore;
 mod lane;
+mod linkfault;
 mod report;
 mod schedule;
 mod shard;
@@ -40,6 +41,10 @@ pub use agent::{Agent, SilentAgent};
 pub use builder::SimBuilder;
 pub use chaos::{AdaptiveCrasher, ChaosAdversary, ChaosConfig, HoldUntilQuiescence};
 pub use lane::{SerialWindowExecutor, WindowExecutor};
+pub use linkfault::{
+    ChurnDirective, ChurnMixer, LinkDecision, LinkFaultPlan, LossyLinks, PartitionDirective,
+    PartitionHealer, RetransmitPolicy,
+};
 pub use report::{DownloadViolation, RunError, RunReport};
 pub use schedule::{CutDecision, RecordingAdversary, ReplayAdversary, ScheduleTrace, TraceHandle};
 pub use sim::Simulation;

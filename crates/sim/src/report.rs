@@ -30,6 +30,18 @@ pub enum RunError {
         /// The per-slab slot capacity that was hit.
         capacity: u32,
     },
+    /// A lossy link dropped the same message more times than the
+    /// retransmission policy's retry budget allows, and the policy is
+    /// fail-fast (see [`RetransmitPolicy`](crate::RetransmitPolicy)):
+    /// the loss surfaces as a structured error instead of a silent drop.
+    RetriesExhausted {
+        /// Sender of the abandoned message.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Total transmission attempts made (original send + resends).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -43,6 +55,12 @@ impl fmt::Display for RunError {
             }
             RunError::SlabOverflow { capacity } => {
                 write!(f, "message slab overflow: slot capacity {capacity} reached")
+            }
+            RunError::RetriesExhausted { from, to, attempts } => {
+                write!(
+                    f,
+                    "retries exhausted: {from} -> {to} abandoned after {attempts} attempts"
+                )
             }
         }
     }
@@ -125,6 +143,25 @@ pub struct RunReport {
     /// How many times the quiescence rule forced the adversary to release
     /// held messages.
     pub quiescence_releases: u64,
+    /// Messages parked at an active partition cut (original sends and
+    /// compelled quiescence releases alike) and re-injected at heal time.
+    /// Like the peak gauges below, the link-fault counters are *excluded*
+    /// from [`fingerprint`](Self::fingerprint) — the field list is fixed
+    /// so recorded goldens stay stable; replay tests assert counter
+    /// equality separately.
+    pub parked_messages: u64,
+    /// Transmission attempts a lossy link dropped (original sends and
+    /// resends both count).
+    pub link_drops: u64,
+    /// Resend attempts the retransmission layer scheduled.
+    pub retransmissions: u64,
+    /// Messages abandoned after exhausting the retry budget. Always zero
+    /// for a fail-fast policy on a successful run (the run errors out
+    /// instead).
+    pub messages_lost: u64,
+    /// Deliveries deferred because the recipient had churned away; each
+    /// re-fires at the peer's rejoin tick.
+    pub deferred_deliveries: u64,
     /// Peak event-queue occupancy over the run. Together with
     /// [`peak_slab_len`](Self::peak_slab_len) this is the simulator's
     /// memory-pressure proxy: resident size scales with
@@ -307,6 +344,11 @@ mod tests {
             virtual_time_ticks: 0,
             events: 0,
             quiescence_releases: 0,
+            parked_messages: 0,
+            link_drops: 0,
+            retransmissions: 0,
+            messages_lost: 0,
+            deferred_deliveries: 0,
             peak_queue_len: 0,
             peak_slab_len: 0,
             peak_queue_lens: vec![0],

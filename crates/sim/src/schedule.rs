@@ -16,6 +16,9 @@
 //! instead.
 
 use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
+use crate::linkfault::{
+    ChurnDirective, LinkDecision, LinkFaultPlan, PartitionDirective, RetransmitPolicy,
+};
 use crate::time::Ticks;
 use crate::view::{PeerRole, View};
 use dr_core::{PeerId, ProtocolMessage};
@@ -34,6 +37,32 @@ pub struct CutDecision {
     pub call: u64,
     /// Number of batch messages that still get out.
     pub keep: usize,
+}
+
+/// A serialized [`PartitionDirective`]: a named cut separating `group`
+/// from everyone else over `[from_tick, heal_tick)`. (Peer IDs flatten to
+/// `u64` for the vendored serde derive.)
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Human-readable cut name (diagnostics only).
+    pub name: String,
+    /// Peers on one side of the cut.
+    pub group: Vec<u64>,
+    /// First tick the cut is active.
+    pub from_tick: u64,
+    /// Tick at which the cut heals (exclusive).
+    pub heal_tick: u64,
+}
+
+/// A serialized [`ChurnDirective`]: `peer` is away over `[leave, rejoin)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// The churning peer.
+    pub peer: u64,
+    /// Tick the peer leaves.
+    pub leave: u64,
+    /// Tick the peer rejoins (exclusive end of the away window).
+    pub rejoin: u64,
 }
 
 /// Every adversary decision of one run, in hook-call order.
@@ -59,6 +88,21 @@ pub struct ScheduleTrace {
     pub crashes: Vec<u64>,
     /// Mid-send cuts by `crash_during_send` call index.
     pub cuts: Vec<CutDecision>,
+    /// Partition directives of the recorded link-fault plan.
+    pub partitions: Vec<PartitionSpec>,
+    /// Churn directives of the recorded link-fault plan.
+    pub churn: Vec<ChurnSpec>,
+    /// Retransmission backoff base (ticks) of the recorded plan.
+    pub backoff_base: u64,
+    /// Retry cap of the recorded plan.
+    pub max_retries: u64,
+    /// Whether the recorded plan surfaces exhausted retries as a
+    /// [`RunError::RetriesExhausted`](crate::RunError::RetriesExhausted).
+    pub fail_fast: bool,
+    /// Transmit decision per `on_transmit` call (`true` = transmitted,
+    /// `false` = dropped). Empty for non-lossy recordings; non-empty
+    /// marks the replay itself as lossy.
+    pub transmits: Vec<bool>,
 }
 
 impl ScheduleTrace {
@@ -73,6 +117,70 @@ impl ScheduleTrace {
     pub fn num_hold_directives(&self) -> usize {
         self.sends.iter().filter(|s| s.is_none()).count()
             + self.releases.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Link-fault directives (partitions + churn) — minimized by the
+    /// chaos shrinker alongside the fault directives.
+    pub fn num_link_directives(&self) -> usize {
+        self.partitions.len() + self.churn.len()
+    }
+
+    /// The [`LinkFaultPlan`] this trace encodes (trivial for recordings of
+    /// fault-free adversaries).
+    pub fn link_fault_plan(&self) -> LinkFaultPlan {
+        LinkFaultPlan {
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| PartitionDirective {
+                    name: p.name.clone(),
+                    group: p.group.iter().map(|&i| PeerId(i as usize)).collect(),
+                    from_tick: p.from_tick,
+                    heal_tick: p.heal_tick,
+                })
+                .collect(),
+            churn: self
+                .churn
+                .iter()
+                .map(|c| ChurnDirective {
+                    peer: PeerId(c.peer as usize),
+                    leave: c.leave,
+                    rejoin: c.rejoin,
+                })
+                .collect(),
+            retransmit: RetransmitPolicy {
+                backoff_base: self.backoff_base,
+                max_retries: self.max_retries as u32,
+                fail_fast: self.fail_fast,
+            },
+        }
+    }
+
+    /// Writes `plan` into the trace's link-fault fields (the inverse of
+    /// [`link_fault_plan`](Self::link_fault_plan)).
+    pub fn set_link_fault_plan(&mut self, plan: &LinkFaultPlan) {
+        self.partitions = plan
+            .partitions
+            .iter()
+            .map(|p| PartitionSpec {
+                name: p.name.clone(),
+                group: p.group.iter().map(|pid| pid.index() as u64).collect(),
+                from_tick: p.from_tick,
+                heal_tick: p.heal_tick,
+            })
+            .collect();
+        self.churn = plan
+            .churn
+            .iter()
+            .map(|c| ChurnSpec {
+                peer: c.peer.index() as u64,
+                leave: c.leave,
+                rejoin: c.rejoin,
+            })
+            .collect();
+        self.backoff_base = plan.retransmit.backoff_base;
+        self.max_retries = u64::from(plan.retransmit.max_retries);
+        self.fail_fast = plan.retransmit.fail_fast;
     }
 
     /// Stable content hash (FNV-1a over the canonical JSON rendering),
@@ -215,6 +323,34 @@ impl<M: ProtocolMessage> Adversary<M> for RecordingAdversary<M> {
         // streams are produced serially in pass 2.
         self.inner.parallel_safe()
     }
+
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        // Fetched once at build time; capture the plan into the trace so
+        // replay reconstructs the same cuts, churn, and retry policy.
+        let plan = self.inner.link_fault_plan();
+        self.trace.lock().set_link_fault_plan(&plan);
+        plan
+    }
+
+    fn lossy(&self) -> bool {
+        self.inner.lossy()
+    }
+
+    fn on_transmit(
+        &mut self,
+        view: &View<'_>,
+        from: PeerId,
+        to: PeerId,
+        attempt: u32,
+        rng: &mut StdRng,
+    ) -> LinkDecision {
+        let d = self.inner.on_transmit(view, from, to, attempt, rng);
+        self.trace
+            .lock()
+            .transmits
+            .push(matches!(d, LinkDecision::Transmit));
+        d
+    }
 }
 
 /// Plays a [`ScheduleTrace`] back, decision for decision.
@@ -230,6 +366,7 @@ pub struct ReplayAdversary {
     start_idx: usize,
     send_idx: usize,
     release_idx: usize,
+    transmit_idx: usize,
     crash_calls: u64,
     cut_calls: u64,
 }
@@ -243,6 +380,7 @@ impl ReplayAdversary {
             start_idx: 0,
             send_idx: 0,
             release_idx: 0,
+            transmit_idx: 0,
             crash_calls: 0,
             cut_calls: 0,
         }
@@ -342,8 +480,36 @@ impl<M: ProtocolMessage> Adversary<M> for ReplayAdversary {
         // inert, so the replay may fan windows out to workers and still be
         // bit-identical. Any recorded fault forces the serial pump (a cut
         // crashing a peer mid-window would invalidate pass-1 decisions
-        // already taken for its later events).
+        // already taken for its later events). Recorded link faults do
+        // not flip this bit: the simulator's own link-fault gate degrades
+        // those runs to the serial pump.
         self.trace.crashes.is_empty() && self.trace.cuts.is_empty()
+    }
+
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        self.trace.link_fault_plan()
+    }
+
+    fn lossy(&self) -> bool {
+        // A recording with any transmit consultations was lossy; replay
+        // must re-consult at the same positions to stay aligned.
+        !self.trace.transmits.is_empty()
+    }
+
+    fn on_transmit(
+        &mut self,
+        _view: &View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _attempt: u32,
+        _rng: &mut StdRng,
+    ) -> LinkDecision {
+        let d = self.trace.transmits.get(self.transmit_idx).copied();
+        self.transmit_idx += 1;
+        match d {
+            Some(true) | None => LinkDecision::Transmit,
+            Some(false) => LinkDecision::Drop,
+        }
     }
 }
 
@@ -359,11 +525,55 @@ mod tests {
             releases: vec![None, Some(vec![0, 2])],
             crashes: vec![3],
             cuts: vec![CutDecision { call: 7, keep: 1 }],
+            partitions: vec![PartitionSpec {
+                name: "half".into(),
+                group: vec![0, 2],
+                from_tick: 0,
+                heal_tick: 4096,
+            }],
+            churn: vec![ChurnSpec {
+                peer: 1,
+                leave: 100,
+                rejoin: 5000,
+            }],
+            backoff_base: 128,
+            max_retries: 12,
+            fail_fast: true,
+            transmits: vec![true, false, true],
         };
         let text = serde::json::to_string_pretty(&trace);
         let back: ScheduleTrace = serde::json::from_str(&text).unwrap();
         assert_eq!(back, trace);
         assert_eq!(back.content_hash(), trace.content_hash());
+    }
+
+    #[test]
+    fn link_fault_plan_roundtrips_through_trace() {
+        let plan = LinkFaultPlan {
+            partitions: vec![PartitionDirective {
+                name: "cut-a".into(),
+                group: vec![PeerId(1), PeerId(3)],
+                from_tick: 10,
+                heal_tick: 2048,
+            }],
+            churn: vec![ChurnDirective {
+                peer: PeerId(2),
+                leave: 512,
+                rejoin: 4096,
+            }],
+            retransmit: RetransmitPolicy {
+                backoff_base: 64,
+                max_retries: 7,
+                fail_fast: true,
+            },
+        };
+        let mut trace = ScheduleTrace::default();
+        trace.set_link_fault_plan(&plan);
+        assert_eq!(trace.num_link_directives(), 2);
+        assert_eq!(trace.link_fault_plan(), plan);
+        // A default trace encodes the trivial plan (zero policy included:
+        // it is never consulted because `transmits` is empty).
+        assert!(ScheduleTrace::default().link_fault_plan().is_trivial());
     }
 
     #[test]
@@ -382,8 +592,10 @@ mod tests {
             releases: vec![None, Some(vec![1])],
             crashes: vec![2, 9],
             cuts: vec![CutDecision { call: 0, keep: 0 }],
+            ..Default::default()
         };
         assert_eq!(trace.num_fault_directives(), 3);
         assert_eq!(trace.num_hold_directives(), 3);
+        assert_eq!(trace.num_link_directives(), 0);
     }
 }

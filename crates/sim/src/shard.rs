@@ -124,7 +124,20 @@ pub(crate) struct SlabOverflow {
 #[derive(Clone, Copy)]
 pub(crate) enum EventKind {
     Start(PeerId),
-    Deliver { from: PeerId, to: PeerId, slot: u32 },
+    Deliver {
+        from: PeerId,
+        to: PeerId,
+        slot: u32,
+    },
+    /// A backed-off resend attempt of a dropped transmission fires: the
+    /// payload still sits in `to`'s shard slab at `slot` (the event owns
+    /// the slot, like a queued delivery), and the coordinator re-consults
+    /// the adversary's transmit decision. Never steps an agent.
+    Retransmit {
+        from: PeerId,
+        to: PeerId,
+        slot: u32,
+    },
 }
 
 impl EventKind {
@@ -133,6 +146,7 @@ impl EventKind {
         match self {
             EventKind::Start(p) => p,
             EventKind::Deliver { to, .. } => to,
+            EventKind::Retransmit { to, .. } => to,
         }
     }
 }

@@ -45,11 +45,13 @@
 use crate::adversary::{Adversary, Delivery, HeldInfo, Release};
 use crate::agent::Agent;
 use crate::lane::{Lane, LaneCtx, Pass1Outcome, WindowExecutor};
+use crate::linkfault::{LinkDecision, RuntimeLinkState};
 use crate::report::{RunError, RunReport};
 use crate::shard::{EventKind, EventPump, MsgSlab, QueuedEvent};
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::trace::TraceEntry;
 use crate::view::{LaneFlags, PeerRole, PeerStatus, View};
+use dr_core::collections::DetMap;
 use dr_core::{BitArray, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -62,6 +64,19 @@ struct HeldMessage {
     slot: u32,
     sent_at: Ticks,
     packets: u64,
+}
+
+/// Bookkeeping for a message awaiting a backed-off resend. The payload's
+/// slab slot is owned by the queued `Retransmit` event; this carries the
+/// metadata the resend needs (keyed by `(to, slot)` in
+/// `Simulation::retrans`).
+struct RetransState {
+    /// Latency the adversary assigned at the original send, reused for
+    /// every attempt so the RNG draw count is schedule-stable.
+    latency: Ticks,
+    packets: u64,
+    /// Failed transmission attempts so far (≥ 1 once state exists).
+    attempt: u32,
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
@@ -91,6 +106,14 @@ pub struct Simulation<M: ProtocolMessage> {
     /// windows stay on the serial pop path.
     pub(crate) parallel_window_min: usize,
     held: Vec<HeldMessage>,
+    /// Validated runtime form of the adversary's link-fault plan
+    /// (partitions, churn windows, retransmission policy).
+    links: RuntimeLinkState,
+    /// Cached [`Adversary::lossy`] answer (contractually constant per
+    /// run): gates every `on_transmit` consultation.
+    lossy: bool,
+    /// Messages awaiting a backed-off resend, keyed by `(to, slot)`.
+    retrans: DetMap<(usize, u32), RetransState>,
     /// Count of peers that are currently nonfaulty and not terminated.
     /// Maintained incrementally at crash and termination transitions so
     /// the run loop's stop check is O(1) instead of an O(k) scan.
@@ -108,6 +131,11 @@ pub struct Simulation<M: ProtocolMessage> {
     message_bits: u64,
     events: u64,
     quiescence_releases: u64,
+    parked_messages: u64,
+    link_drops: u64,
+    retransmissions: u64,
+    messages_lost: u64,
+    deferred_deliveries: u64,
     trace: Option<Vec<TraceEntry>>,
 }
 
@@ -144,6 +172,12 @@ impl<M: ProtocolMessage> Simulation<M> {
                 params.b()
             );
         }
+        // The link-fault plan is static for the run: fetch it once,
+        // validate it against the peer count, and cache the (contractually
+        // constant) lossiness flag.
+        let link_plan = adversary.link_fault_plan();
+        let links = RuntimeLinkState::new(&link_plan, k);
+        let lossy = adversary.lossy();
         let mut lanes: Vec<Lane<M>> = (0..shards)
             .map(|s| Lane {
                 shard: s,
@@ -179,6 +213,9 @@ impl<M: ProtocolMessage> Simulation<M> {
             executor: None,
             parallel_window_min: 32,
             held: Vec::new(),
+            links,
+            lossy,
+            retrans: DetMap::new(),
             // Nobody has crashed or terminated yet, so every honest peer
             // is pending.
             pending_nonfaulty: k - byz,
@@ -191,6 +228,11 @@ impl<M: ProtocolMessage> Simulation<M> {
             message_bits: 0,
             events: 0,
             quiescence_releases: 0,
+            parked_messages: 0,
+            link_drops: 0,
+            retransmissions: 0,
+            messages_lost: 0,
+            deferred_deliveries: 0,
             trace: None,
         }
     }
@@ -322,10 +364,17 @@ impl<M: ProtocolMessage> Simulation<M> {
             adv_rng,
             pump,
             held,
+            links,
+            lossy,
+            retrans,
             seq,
             now,
             messages_sent,
             message_bits,
+            parked_messages,
+            link_drops,
+            retransmissions,
+            messages_lost,
             trace,
             ..
         } = self;
@@ -345,6 +394,107 @@ impl<M: ProtocolMessage> Simulation<M> {
                 Delivery::After(latency) => {
                     let latency = latency.clamp(1, TICKS_PER_UNIT);
                     let transmission = (packets - 1) * TICKS_PER_UNIT;
+                    // An active cut parks the message: it keeps its slab
+                    // slot (owned by the delivery event, so the leak audit
+                    // covers it) and re-enters delivery deterministically
+                    // when the partition heals. The adversary's `on_send`
+                    // was consulted as usual, so the RNG draw sequence and
+                    // positional schedule trace are partition-agnostic.
+                    if let Some(heal) = links.cut_heal(peer, to, *now) {
+                        *parked_messages += 1;
+                        if let Some(trace) = trace {
+                            trace.push(TraceEntry::Park {
+                                at: *now,
+                                from: peer,
+                                to,
+                                until: heal,
+                            });
+                        }
+                        let slot =
+                            pump.insert_payload(to, msg)
+                                .map_err(|e| RunError::SlabOverflow {
+                                    capacity: e.capacity,
+                                })?;
+                        let s = *seq;
+                        *seq += 1;
+                        pump.push(QueuedEvent {
+                            at: heal + latency + transmission,
+                            seq: s,
+                            kind: EventKind::Deliver {
+                                from: peer,
+                                to,
+                                slot,
+                            },
+                        });
+                        continue;
+                    }
+                    // Lossy links: the initial transmission attempt may be
+                    // dropped, invoking the bounded retransmission layer.
+                    if *lossy
+                        && matches!(
+                            adversary.on_transmit(&view, peer, to, 0, adv_rng),
+                            LinkDecision::Drop
+                        )
+                    {
+                        *link_drops += 1;
+                        if let Some(trace) = trace {
+                            trace.push(TraceEntry::LinkDrop {
+                                at: *now,
+                                from: peer,
+                                to,
+                                attempt: 0,
+                            });
+                        }
+                        let slot =
+                            pump.insert_payload(to, msg)
+                                .map_err(|e| RunError::SlabOverflow {
+                                    capacity: e.capacity,
+                                })?;
+                        if links.policy.max_retries == 0 {
+                            // No retries allowed: the message is lost. The
+                            // drop frees the slot immediately instead of
+                            // leaking it.
+                            drop(pump.take_payload(to, slot));
+                            *messages_lost += 1;
+                            if let Some(trace) = trace {
+                                trace.push(TraceEntry::Lost {
+                                    at: *now,
+                                    from: peer,
+                                    to,
+                                    attempts: 1,
+                                });
+                            }
+                            if links.policy.fail_fast {
+                                return Err(RunError::RetriesExhausted {
+                                    from: peer,
+                                    to,
+                                    attempts: 1,
+                                });
+                            }
+                        } else {
+                            *retransmissions += 1;
+                            retrans.insert(
+                                (to.index(), slot),
+                                RetransState {
+                                    latency,
+                                    packets,
+                                    attempt: 1,
+                                },
+                            );
+                            let s = *seq;
+                            *seq += 1;
+                            pump.push(QueuedEvent {
+                                at: *now + links.backoff(1),
+                                seq: s,
+                                kind: EventKind::Retransmit {
+                                    from: peer,
+                                    to,
+                                    slot,
+                                },
+                            });
+                        }
+                        continue;
+                    }
                     let at = *now + latency + transmission;
                     let slot =
                         pump.insert_payload(to, msg)
@@ -396,13 +546,28 @@ impl<M: ProtocolMessage> Simulation<M> {
     fn process_event(&mut self, kind: EventKind) -> Option<PeerId> {
         let to = kind.subject();
         let (s, slot) = self.lane_slot(to);
-        let st = &self.status[to.index()];
+        let st = self.status[to.index()].clone();
         if st.crashed || st.terminated {
             if let EventKind::Deliver { from, to, slot } = kind {
                 drop(self.pump.take_payload(to, slot));
                 let at = self.now;
                 self.record(TraceEntry::Drop { at, from, to });
             }
+            return None;
+        }
+        // Churn: a peer that has left the network takes no steps until it
+        // rejoins. Every event addressed to it — starts included — is
+        // deferred to the rejoin tick, its payload slot riding along (the
+        // re-pushed event owns it), so nothing is lost or leaked.
+        if let Some(rejoin) = self.links.away_until(to, self.now) {
+            self.deferred_deliveries += 1;
+            let at = self.now;
+            self.record(TraceEntry::ChurnDefer {
+                at,
+                peer: to,
+                until: rejoin,
+            });
+            self.push_event(rejoin, kind);
             return None;
         }
         // A peer takes no steps before its start event: messages that
@@ -453,6 +618,9 @@ impl<M: ProtocolMessage> Simulation<M> {
                 let (at, bits) = (self.now, msg.bit_len());
                 self.record(TraceEntry::Deliver { at, from, to, bits });
                 Some((from, msg))
+            }
+            EventKind::Retransmit { .. } => {
+                unreachable!("retransmit events are handled by the coordinator, not process_event")
             }
         };
         if is_start {
@@ -530,6 +698,12 @@ impl<M: ProtocolMessage> Simulation<M> {
             && self.pump.num_shards() > 1
             && self.trace.is_none()
             && self.adversary.parallel_safe()
+            // Link faults degrade to the bit-identical serial pump:
+            // transmit decisions, partition parking, and churn deferrals
+            // interleave with the global event order, which only the
+            // serial path reproduces exactly.
+            && !self.lossy
+            && self.links.is_trivial()
     }
 
     /// Runs the execution to completion.
@@ -579,6 +753,10 @@ impl<M: ProtocolMessage> Simulation<M> {
             match self.pump.pop() {
                 Some(ev) => {
                     self.now = self.now.max(ev.at);
+                    if let EventKind::Retransmit { from, to, slot } = ev.kind {
+                        self.handle_retransmit(from, to, slot)?;
+                        continue;
+                    }
                     if let Some(peer) = self.process_event(ev.kind) {
                         let mut outbox = std::mem::take(&mut self.outbox_scratch);
                         let dispatched = self.dispatch_outbox(peer, &mut outbox);
@@ -623,6 +801,12 @@ impl<M: ProtocolMessage> Simulation<M> {
         // Partition honest-subject events per shard, preserving seq order.
         let mut shard_events: Vec<Vec<QueuedEvent>> = (0..num_shards).map(|_| Vec::new()).collect();
         for ev in &window {
+            // Retransmit events never reach this path (lossy runs are
+            // ineligible for parallel windows), but filter defensively:
+            // they are coordinator work, not lane work.
+            if matches!(ev.kind, EventKind::Retransmit { .. }) {
+                continue;
+            }
             let subject = ev.kind.subject();
             if self.status[subject.index()].role == PeerRole::Honest {
                 shard_events[subject.index() % num_shards].push(*ev);
@@ -685,6 +869,10 @@ impl<M: ProtocolMessage> Simulation<M> {
                 return Err(RunError::EventLimitExceeded {
                     limit: self.max_events,
                 });
+            }
+            if let EventKind::Retransmit { from, to, slot } = ev.kind {
+                self.handle_retransmit(from, to, slot)?;
+                continue;
             }
             let subject = ev.kind.subject();
             if self.status[subject.index()].role == PeerRole::Byzantine {
@@ -762,6 +950,11 @@ impl<M: ProtocolMessage> Simulation<M> {
     ) {
         let num_shards = self.lanes.len();
         for ev in rest {
+            if let EventKind::Retransmit { to, slot, .. } = ev.kind {
+                self.retrans.remove(&(to.index(), slot));
+                drop(self.pump.take_payload(to, slot));
+                continue;
+            }
             let subject = ev.kind.subject();
             if self.status[subject.index()].role == PeerRole::Byzantine {
                 if let EventKind::Deliver { to, slot, .. } = ev.kind {
@@ -780,6 +973,97 @@ impl<M: ProtocolMessage> Simulation<M> {
                 }
             }
         }
+    }
+
+    /// A backed-off resend attempt fires: re-consult the adversary's
+    /// transmit decision for the message parked in `to`'s slab at `slot`.
+    /// On success the delivery is scheduled with the message's original
+    /// latency; on another drop the backoff doubles until the retry cap,
+    /// after which the message is abandoned (slot freed, counted into
+    /// `messages_lost`, and — under a fail-fast policy — surfaced as
+    /// [`RunError::RetriesExhausted`]).
+    fn handle_retransmit(&mut self, from: PeerId, to: PeerId, slot: u32) -> Result<(), RunError> {
+        let st = self
+            .retrans
+            .remove(&(to.index(), slot))
+            .expect("retransmit event fired without resend state");
+        let target = &self.status[to.index()];
+        if target.crashed || target.terminated {
+            // Same as a delivery to a dead peer: free the slot and move on.
+            drop(self.pump.take_payload(to, slot));
+            let at = self.now;
+            self.record(TraceEntry::Drop { at, from, to });
+            return Ok(());
+        }
+        let transmission = (st.packets - 1) * TICKS_PER_UNIT;
+        // A cut that opened since the original send parks the resend until
+        // heal — the link is down, so no transmit decision is consulted.
+        if let Some(heal) = self.links.cut_heal(from, to, self.now) {
+            self.parked_messages += 1;
+            let at = self.now;
+            self.record(TraceEntry::Park {
+                at,
+                from,
+                to,
+                until: heal,
+            });
+            self.push_event(
+                heal + st.latency + transmission,
+                EventKind::Deliver { from, to, slot },
+            );
+            return Ok(());
+        }
+        let decision = {
+            let view = View {
+                now: self.now,
+                peers: &self.status,
+            };
+            self.adversary
+                .on_transmit(&view, from, to, st.attempt, &mut self.adv_rng)
+        };
+        match decision {
+            LinkDecision::Transmit => {
+                let at = self.now + st.latency + transmission;
+                self.push_event(at, EventKind::Deliver { from, to, slot });
+            }
+            LinkDecision::Drop => {
+                self.link_drops += 1;
+                let at = self.now;
+                self.record(TraceEntry::LinkDrop {
+                    at,
+                    from,
+                    to,
+                    attempt: st.attempt,
+                });
+                if st.attempt >= self.links.policy.max_retries {
+                    drop(self.pump.take_payload(to, slot));
+                    self.messages_lost += 1;
+                    let attempts = st.attempt + 1;
+                    self.record(TraceEntry::Lost {
+                        at,
+                        from,
+                        to,
+                        attempts,
+                    });
+                    if self.links.policy.fail_fast {
+                        return Err(RunError::RetriesExhausted { from, to, attempts });
+                    }
+                } else {
+                    let next = st.attempt + 1;
+                    self.retransmissions += 1;
+                    self.retrans.insert(
+                        (to.index(), slot),
+                        RetransState {
+                            attempt: next,
+                            ..st
+                        },
+                    );
+                    let fire = self.now + self.links.backoff(next);
+                    self.push_event(fire, EventKind::Retransmit { from, to, slot });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Debug-build check that a lane's lifecycle-flag mirror agrees with
@@ -805,10 +1089,23 @@ impl<M: ProtocolMessage> Simulation<M> {
     fn assert_no_leaked_slots(&mut self) {
         let shards = self.lanes.len();
         while let Some(ev) = self.pump.pop() {
-            if let EventKind::Deliver { to, slot, .. } = ev.kind {
-                drop(self.pump.take_payload(to, slot));
+            match ev.kind {
+                EventKind::Deliver { to, slot, .. } => {
+                    drop(self.pump.take_payload(to, slot));
+                }
+                // A pending resend owns its payload slot exactly like a
+                // queued delivery; drop its metadata alongside the slot.
+                EventKind::Retransmit { to, slot, .. } => {
+                    self.retrans.remove(&(to.index(), slot));
+                    drop(self.pump.take_payload(to, slot));
+                }
+                EventKind::Start(_) => {}
             }
         }
+        assert!(
+            self.retrans.is_empty(),
+            "slab leak: resend state with no queued retransmit event"
+        );
         for h in std::mem::take(&mut self.held) {
             drop(self.pump.take_payload(h.to, h.slot));
         }
@@ -874,7 +1171,25 @@ impl<M: ProtocolMessage> Simulation<M> {
         // delivery event.
         for &i in chosen.iter().rev() {
             let h = self.held.swap_remove(i);
-            let at = self.now + 1 + (h.packets - 1) * TICKS_PER_UNIT;
+            let transmission = (h.packets - 1) * TICKS_PER_UNIT;
+            // A compelled release still cannot cross an unhealed cut: the
+            // message counts as released (the compelled-progress rule is
+            // about the adversary's hold, not the link), but its delivery
+            // parks until the partition heals.
+            let at = match self.links.cut_heal(h.from, h.to, self.now) {
+                Some(heal) => {
+                    self.parked_messages += 1;
+                    let (at, from, to) = (self.now, h.from, h.to);
+                    self.record(TraceEntry::Park {
+                        at,
+                        from,
+                        to,
+                        until: heal,
+                    });
+                    heal + 1 + transmission
+                }
+                None => self.now + 1 + transmission,
+            };
             self.push_event(
                 at,
                 EventKind::Deliver {
@@ -937,6 +1252,11 @@ impl<M: ProtocolMessage> Simulation<M> {
             virtual_time_ticks: self.now,
             events: self.events,
             quiescence_releases: self.quiescence_releases,
+            parked_messages: self.parked_messages,
+            link_drops: self.link_drops,
+            retransmissions: self.retransmissions,
+            messages_lost: self.messages_lost,
+            deferred_deliveries: self.deferred_deliveries,
             peak_queue_len: self.pump.peak_queued() as u64,
             peak_slab_len: self.pump.peak_live() as u64,
             peak_queue_lens: self.pump.peak_queued_per_shard(),

@@ -69,6 +69,53 @@ pub enum TraceEntry {
         /// The terminating peer.
         peer: PeerId,
     },
+    /// A message crossed an active partition cut and was parked: it keeps
+    /// its payload slot and re-enters delivery when the cut heals.
+    Park {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// The tick at which the separating cut heals.
+        until: Ticks,
+    },
+    /// A lossy link dropped a transmission attempt (the retransmission
+    /// layer will resend unless the retry cap is reached).
+    LinkDrop {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Which attempt failed: 0 is the original send, `a ≥ 1` the
+        /// `a`-th resend.
+        attempt: u32,
+    },
+    /// The retransmission layer gave up on a message after exhausting its
+    /// retry budget; the payload slot was freed.
+    Lost {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Total transmission attempts made (original send + resends).
+        attempts: u32,
+    },
+    /// A delivery addressed to a churned-away peer was deferred to its
+    /// rejoin tick (the payload slot rides along; nothing is lost).
+    ChurnDefer {
+        /// Virtual time in ticks.
+        at: Ticks,
+        /// The absent peer.
+        peer: PeerId,
+        /// The tick at which the peer rejoins and the event re-fires.
+        until: Ticks,
+    },
 }
 
 impl TraceEntry {
@@ -81,7 +128,11 @@ impl TraceEntry {
             | TraceEntry::Crash { at, .. }
             | TraceEntry::Hold { at, .. }
             | TraceEntry::QuiescenceRelease { at, .. }
-            | TraceEntry::Terminate { at, .. } => *at,
+            | TraceEntry::Terminate { at, .. }
+            | TraceEntry::Park { at, .. }
+            | TraceEntry::LinkDrop { at, .. }
+            | TraceEntry::Lost { at, .. }
+            | TraceEntry::ChurnDefer { at, .. } => *at,
         }
     }
 }
@@ -104,6 +155,26 @@ pub fn render_trace(trace: &[TraceEntry]) -> String {
                 format!("{t:8.3}  RELEASE  {released} held message(s)")
             }
             TraceEntry::Terminate { peer, .. } => format!("{t:8.3}  DONE     {peer}"),
+            TraceEntry::Park {
+                from, to, until, ..
+            } => {
+                let u = ticks_to_units(*until);
+                format!("{t:8.3}  PARK     {from} -> {to} (until {u:.3})")
+            }
+            TraceEntry::LinkDrop {
+                from, to, attempt, ..
+            } => {
+                format!("{t:8.3}  LDROP    {from} -> {to} (attempt {attempt})")
+            }
+            TraceEntry::Lost {
+                from, to, attempts, ..
+            } => {
+                format!("{t:8.3}  LOST     {from} -> {to} ({attempts} attempts)")
+            }
+            TraceEntry::ChurnDefer { peer, until, .. } => {
+                let u = ticks_to_units(*until);
+                format!("{t:8.3}  DEFER    to {peer} (rejoins {u:.3})")
+            }
         };
         out.push_str(&line);
         out.push('\n');
@@ -150,13 +221,38 @@ mod tests {
                 at: 2048,
                 peer: PeerId(0),
             },
+            TraceEntry::Park {
+                at: 2049,
+                from: PeerId(1),
+                to: PeerId(2),
+                until: 4096,
+            },
+            TraceEntry::LinkDrop {
+                at: 2050,
+                from: PeerId(2),
+                to: PeerId(0),
+                attempt: 0,
+            },
+            TraceEntry::Lost {
+                at: 2051,
+                from: PeerId(2),
+                to: PeerId(0),
+                attempts: 5,
+            },
+            TraceEntry::ChurnDefer {
+                at: 2052,
+                peer: PeerId(1),
+                until: 8192,
+            },
         ];
         let text = render_trace(&trace);
         for needle in [
-            "START", "DELIVER", "DROP", "CRASH", "HOLD", "RELEASE", "DONE",
+            "START", "DELIVER", "DROP", "CRASH", "HOLD", "RELEASE", "DONE", "PARK", "LDROP",
+            "LOST", "DEFER",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
         assert_eq!(trace[6].at(), 2048);
+        assert_eq!(trace[10].at(), 2052);
     }
 }

@@ -257,3 +257,71 @@ fn cut_batch_surviving_prefix_is_releasable_at_quiescence() {
     assert_eq!(report.quiescence_releases, 1);
     assert!(report.outputs[1].is_some());
 }
+
+/// Holds every message while a partition separates the two peers: the
+/// compelled-release × link-fault interaction of the fault-plane
+/// satellite.
+struct HoldAllWithCut {
+    heal: dr_sim::Ticks,
+}
+
+impl Adversary<Chunk> for HoldAllWithCut {
+    fn on_send(
+        &mut self,
+        _v: &View<'_>,
+        _f: PeerId,
+        _t: PeerId,
+        _m: &Chunk,
+        _r: &mut StdRng,
+    ) -> Delivery {
+        Delivery::Hold
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(0)
+    }
+
+    fn link_fault_plan(&self) -> dr_sim::LinkFaultPlan {
+        dr_sim::LinkFaultPlan {
+            partitions: vec![dr_sim::PartitionDirective {
+                name: "quiescence-cut".into(),
+                group: vec![PeerId(0)],
+                from_tick: 0,
+                heal_tick: self.heal,
+            }],
+            ..Default::default()
+        }
+    }
+}
+
+#[test]
+fn compelled_release_parks_across_an_unhealed_cut() {
+    // k = 2, every message held, peers partitioned from tick 0: the
+    // queue drains while the cut is still up, so quiescence compels the
+    // adversary to release both chunks *during* the partition. The
+    // release must still happen (compelled progress is non-negotiable)
+    // but the released messages must not cross the unhealed cut — they
+    // park and deliver at heal, so the run finishes only after it.
+    let n = 32;
+    let heal = 10 * dr_sim::TICKS_PER_UNIT;
+    let params = ModelParams::fault_free(n, 2).unwrap();
+    let sim = SimBuilder::new(params)
+        .seed(5)
+        .protocol(move |_| Balanced::new(n))
+        .adversary(HoldAllWithCut { heal })
+        .build();
+    let input = sim.input().clone();
+    let report = sim.run().unwrap();
+    report.verify_downloads(&input).unwrap();
+    assert!(report.quiescence_releases > 0, "nothing was compelled");
+    assert_eq!(
+        report.parked_messages, 2,
+        "both released chunks should park at the cut"
+    );
+    assert!(
+        report.virtual_time_ticks >= heal,
+        "completed at {} < heal {heal} — a compelled release crossed the unhealed cut",
+        report.virtual_time_ticks
+    );
+    assert!(report.outputs[0].is_some() && report.outputs[1].is_some());
+}

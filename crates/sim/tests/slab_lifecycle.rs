@@ -8,8 +8,8 @@
 
 use dr_core::{BitArray, Context, FaultModel, ModelParams, PeerId, Protocol, ProtocolMessage};
 use dr_sim::{
-    AdaptiveCrasher, Adversary, ChaosAdversary, ChaosConfig, Delivery, RunError, SimBuilder, Ticks,
-    TICKS_PER_UNIT,
+    AdaptiveCrasher, Adversary, ChaosAdversary, ChaosConfig, Delivery, LinkDecision, LinkFaultPlan,
+    PartitionDirective, RetransmitPolicy, RunError, SimBuilder, Ticks, TICKS_PER_UNIT,
 };
 use rand::rngs::StdRng;
 
@@ -278,6 +278,164 @@ fn ample_slab_capacity_never_trips() {
         .build();
     sim.run()
         .expect("16 slots cover 3 concurrent pings per peer");
+}
+
+/// Unit-latency lossy adversary that drops every transmission attempt,
+/// under a configurable retry policy. Crash-inert.
+struct AlwaysDrop {
+    policy: RetransmitPolicy,
+}
+
+impl<M: ProtocolMessage> Adversary<M> for AlwaysDrop {
+    fn on_send(
+        &mut self,
+        _view: &dr_sim::View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _msg: &M,
+        _rng: &mut StdRng,
+    ) -> Delivery {
+        Delivery::After(1)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(0)
+    }
+
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        LinkFaultPlan {
+            retransmit: self.policy,
+            ..Default::default()
+        }
+    }
+
+    fn lossy(&self) -> bool {
+        true
+    }
+
+    fn on_transmit(
+        &mut self,
+        _view: &dr_sim::View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _attempt: u32,
+        _rng: &mut StdRng,
+    ) -> LinkDecision {
+        LinkDecision::Drop
+    }
+}
+
+/// Unit-latency adversary with a single static cut isolating peer 0
+/// until `heal`. Crash-inert.
+struct StaticCut {
+    heal: Ticks,
+}
+
+impl<M: ProtocolMessage> Adversary<M> for StaticCut {
+    fn on_send(
+        &mut self,
+        _view: &dr_sim::View<'_>,
+        _from: PeerId,
+        _to: PeerId,
+        _msg: &M,
+        _rng: &mut StdRng,
+    ) -> Delivery {
+        Delivery::After(1)
+    }
+
+    fn planned_crashes(&self) -> Option<usize> {
+        Some(0)
+    }
+
+    fn link_fault_plan(&self) -> LinkFaultPlan {
+        LinkFaultPlan {
+            partitions: vec![PartitionDirective {
+                name: "audit-cut".into(),
+                group: vec![PeerId(0)],
+                from_tick: 0,
+                heal_tick: self.heal,
+            }],
+            ..Default::default()
+        }
+    }
+}
+
+/// Messages abandoned by the retransmission layer free their slab slots
+/// at the loss: with a zero-retry policy every ping is dropped exactly
+/// once and lost, and the end-of-run audit must find no orphan slots.
+#[test]
+fn lost_messages_free_their_slots() {
+    let (n, k) = (64, 5);
+    let sim = SimBuilder::new(ModelParams::fault_free(n, k).unwrap())
+        .seed(17)
+        .protocol(move |_| Solo { out: None })
+        .adversary(AlwaysDrop {
+            policy: RetransmitPolicy {
+                backoff_base: TICKS_PER_UNIT / 8,
+                max_retries: 0,
+                fail_fast: false,
+            },
+        })
+        .build();
+    let report = sim.run().expect("solo peers need no messages");
+    let pings = (k * (k - 1)) as u64;
+    assert_eq!(report.link_drops, pings);
+    assert_eq!(report.messages_lost, pings);
+    assert_eq!(report.retransmissions, 0);
+    for p in 0..k {
+        assert!(report.outputs[p].is_some());
+    }
+}
+
+/// A run that ends while messages are still parked behind an unhealed
+/// cut: the parked payloads' slots are owned by queued deliveries the
+/// run never drains, and the audit must account for every one of them.
+/// Swept across serial and sharded pumps (link faults degrade the
+/// sharded pump to the serial path, but the audit runs either way).
+#[test]
+fn parked_payloads_survive_an_unhealed_cut_without_leaking() {
+    let (n, k) = (64, 5);
+    let heal = 100 * TICKS_PER_UNIT;
+    for shards in [1usize, 2] {
+        let sim = SimBuilder::new(ModelParams::fault_free(n, k).unwrap())
+            .seed(23)
+            .shards(shards)
+            .protocol(move |_| Solo { out: None })
+            .adversary(StaticCut { heal })
+            .build();
+        let report = sim.run().expect("solo peers terminate mid-cut");
+        // Peer 0's k-1 outgoing pings plus the k-1 inbound ones all park.
+        assert_eq!(
+            report.parked_messages,
+            2 * (k as u64 - 1),
+            "shards={shards}"
+        );
+        assert!(
+            report.virtual_time_ticks < heal,
+            "solo run should end before the far-future heal (shards={shards})"
+        );
+    }
+}
+
+/// A run that ends with resends still pending: the backed-off
+/// retransmit events own their payload slots and carry side-table
+/// state; the audit must drain both together.
+#[test]
+fn pending_retransmissions_do_not_leak_at_termination() {
+    let (n, k) = (64, 5);
+    let sim = SimBuilder::new(ModelParams::fault_free(n, k).unwrap())
+        .seed(29)
+        .protocol(move |_| Solo { out: None })
+        .adversary(AlwaysDrop {
+            policy: RetransmitPolicy::default(),
+        })
+        .build();
+    let report = sim
+        .run()
+        .expect("solo peers terminate with resends pending");
+    assert!(report.link_drops > 0);
+    assert!(report.retransmissions > 0);
+    assert_eq!(report.messages_lost, 0, "retries never capped out");
 }
 
 /// The adaptive crasher must not spend its budget on the held-at-start
