@@ -18,6 +18,7 @@ pub mod plane;
 pub mod pump;
 pub mod runners;
 pub mod stats;
+pub mod sync;
 pub mod table;
 
 pub use metrics::{ExperimentParams, ExperimentRecord, Measured, MetricsSink};

@@ -24,17 +24,20 @@ use crate::stats::Stats;
 pub const TRIALS_ENV: &str = "DR_BENCH_TRIALS";
 
 /// Process-wide override set by [`set_trials`]; 0 means "not set".
+// dr-lint: allow(sync-primitive-outside-facade): process-global config cell; statics cannot hold loom primitives (each model execution needs fresh objects)
 static TRIALS_OVERRIDE: AtomicU64 = AtomicU64::new(0);
 
 /// Overrides the per-row trial count for the whole process (e.g. from a
 /// `--trials` CLI flag). Passing 0 clears the override.
 pub fn set_trials(n: u64) {
+    // dr-lint: allow(atomic-ordering): lone config cell, no other memory depends on it
     TRIALS_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Trials each multi-trial experiment row runs: the [`set_trials`]
 /// override, else `DR_BENCH_TRIALS`, else 3.
 pub fn trials() -> u64 {
+    // dr-lint: allow(atomic-ordering): lone config cell, no other memory depends on it
     let explicit = TRIALS_OVERRIDE.load(Ordering::Relaxed);
     if explicit > 0 {
         return explicit;

@@ -26,15 +26,21 @@
 //!   sits inside a trial, and popping another whole trial there would
 //!   recurse unboundedly.
 //!
-//! A submitter parks (on its completion channel) only when none of its
-//! jobs are poppable, which means every unfinished job is *running* on
-//! some other thread and will signal completion; hence no lost wakeups
-//! and no cycles. Jobs themselves never block on other jobs.
+//! A submitter parks (on its batch's completion queue) only when none of
+//! its jobs are poppable, which means every unfinished job is *running*
+//! on some other thread and will signal completion; hence no lost
+//! wakeups and no cycles. Jobs themselves never block on other jobs.
+//!
+//! These claims are not just argued here: the protocol lives in
+//! [`core::PlaneCore`], built on the [`crate::sync`] facade, and
+//! `tests/loom_plane.rs` model-checks them exhaustively under the
+//! `loom-model` feature (every interleaving of push/pop/park/wakeup/
+//! panic-forwarding on small batches).
 //!
 //! Workers are spawned lazily and grow-only: the pool keeps the largest
 //! worker count any submission has asked for. Idle workers park on a
 //! condvar and cost nothing. Panics inside jobs are caught, forwarded
-//! over the completion channel, and resumed on the submitting thread.
+//! through the completion queue, and resumed on the submitting thread.
 //!
 //! # Determinism
 //!
@@ -45,12 +51,23 @@
 //! (including 1, which runs everything inline) never changes any
 //! reported value.
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+// Model tests need to instantiate fresh cores; normal builds keep the
+// synchronization internals private to the plane.
+#[cfg(feature = "loom-model")]
+pub mod core;
+#[cfg(not(feature = "loom-model"))]
+pub(crate) mod core;
+
+// The process-global knobs below stay on raw std atomics deliberately:
+// loom primitives cannot live in statics (each model execution must create
+// its own instrumented objects), and these atomics carry no cross-thread
+// data — they are monotonic config/bookkeeping cells (DESIGN.md §4).
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use dr_sim::WindowExecutor;
+
+use self::core::PlaneCore;
 
 /// Name of the environment variable consulted by [`thread_count`].
 pub const THREADS_ENV: &str = "DR_BENCH_THREADS";
@@ -63,12 +80,14 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// workers are never torn down (they park when idle); lowering the count
 /// only limits how much new submissions fan out.
 pub fn set_threads(n: usize) {
+    // dr-lint: allow(atomic-ordering): lone config cell, no other memory depends on it
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Worker threads submissions fan out over: the [`set_threads`] override,
 /// else `DR_BENCH_THREADS`, else the machine's available parallelism.
 pub fn thread_count() -> usize {
+    // dr-lint: allow(atomic-ordering): lone config cell, no other memory depends on it
     let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if explicit > 0 {
         return explicit;
@@ -85,19 +104,10 @@ pub fn thread_count() -> usize {
         .unwrap_or(1)
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A queued job tagged with its scheduling class.
-struct Entry {
-    /// Window (intra-trial) jobs jump the queue; trial jobs wait in line.
-    window: bool,
-    job: Job,
-}
-
+/// The process-wide plane: the model-checked core plus the grow-only
+/// worker accounting that only makes sense as a singleton.
 struct Plane {
-    queue: Mutex<VecDeque<Entry>>,
-    /// Signalled when jobs are pushed; workers park here.
-    work: Condvar,
+    core: PlaneCore,
     /// Workers spawned so far (grow-only).
     workers: AtomicUsize,
 }
@@ -105,79 +115,34 @@ struct Plane {
 fn plane() -> &'static Plane {
     static PLANE: OnceLock<Plane> = OnceLock::new();
     PLANE.get_or_init(|| Plane {
-        queue: Mutex::new(VecDeque::new()),
-        work: Condvar::new(),
+        core: PlaneCore::new(),
         workers: AtomicUsize::new(0),
     })
 }
 
 impl Plane {
-    /// Enqueues a batch: window jobs at the front (order preserved),
-    /// trial jobs at the back.
-    fn push(&self, entries: Vec<Entry>) {
-        let mut q = self.queue.lock().unwrap();
-        for e in entries.into_iter().rev() {
-            if e.window {
-                q.push_front(e);
-            } else {
-                q.push_back(e);
-            }
-        }
-        drop(q);
-        self.work.notify_all();
-    }
-
-    /// Pops the next job, or — with `window_only` — only a front-of-queue
-    /// window job (helpers inside a trial must not recurse into another
-    /// whole trial).
-    fn pop(&self, window_only: bool) -> Option<Job> {
-        let mut q = self.queue.lock().unwrap();
-        if window_only && !q.front().is_some_and(|e| e.window) {
-            return None;
-        }
-        q.pop_front().map(|e| e.job)
-    }
-
     /// Grows the pool to at least `want` workers.
     fn ensure_workers(&self, want: usize) {
         loop {
+            // dr-lint: allow(atomic-ordering): spawn-count gate only; the spawn itself synchronizes
             let cur = self.workers.load(Ordering::Relaxed);
             if cur >= want {
                 return;
             }
             if self
                 .workers
+                // dr-lint: allow(atomic-ordering): CAS decides which thread spawns worker `cur`; no data is published through it
                 .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
                 std::thread::Builder::new()
                     .name(format!("dr-plane-{cur}"))
-                    .spawn(worker_loop)
+                    .spawn(|| plane().core.worker_loop())
                     .expect("spawn plane worker");
             }
         }
     }
 }
-
-fn worker_loop() {
-    let p = plane();
-    loop {
-        let job = {
-            let mut q = p.queue.lock().unwrap();
-            loop {
-                if let Some(e) = q.pop_front() {
-                    break e.job;
-                }
-                q = p.work.wait(q).unwrap();
-            }
-        };
-        job();
-    }
-}
-
-/// Outcome of one job: its index and either its value or the payload of
-/// the panic that killed it.
-type Completion<T> = (usize, std::thread::Result<T>);
 
 /// Runs `f(0..count)` across the plane and returns the results **in
 /// index order** (bit-identical to a serial loop for any thread count).
@@ -218,62 +183,14 @@ where
     p.ensure_workers(workers - 1);
 
     let f = Arc::new(f);
-    let (tx, rx) = crossbeam::channel::unbounded::<Completion<T>>();
-    let entries = (0..count)
+    let jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>> = (0..count)
         .map(|i| {
             let f = Arc::clone(&f);
-            let tx = tx.clone();
-            let job: Job = Box::new(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| f(i)));
-                // A dropped receiver just means the submitter already
-                // resumed a sibling's panic.
-                let _ = tx.send((i, out));
-            });
-            Entry { window: false, job }
+            let job: Box<dyn FnOnce() -> T + Send + 'static> = Box::new(move || f(i));
+            job
         })
         .collect();
-    drop(tx);
-    p.push(entries);
-
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let mut received = 0usize;
-    while received < count {
-        // Help: a top-level submitter may run anything, including whole
-        // stolen trials.
-        while let Some(job) = p.pop(false) {
-            job();
-            while let Ok((i, out)) = rx.try_recv() {
-                received += 1;
-                let v = unwrap_completion(out);
-                on_done(i, &v);
-                slots[i] = Some(v);
-            }
-            if received == count {
-                break;
-            }
-        }
-        if received == count {
-            break;
-        }
-        // Nothing poppable: every unfinished job is running on another
-        // thread and will send its completion.
-        let (i, out) = rx.recv().expect("plane job dropped its completion");
-        received += 1;
-        let v = unwrap_completion(out);
-        on_done(i, &v);
-        slots[i] = Some(v);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("plane job completed without a result"))
-        .collect()
-}
-
-fn unwrap_completion<T>(out: std::thread::Result<T>) -> T {
-    match out {
-        Ok(v) => v,
-        Err(payload) => resume_unwind(payload),
-    }
+    p.core.run_batch(jobs, false, |i, v| on_done(i, v))
 }
 
 /// [`dr_sim::WindowExecutor`] backed by the plane: lane jobs are pushed
@@ -312,46 +229,7 @@ impl WindowExecutor for PlaneExecutor {
         }
         let p = plane();
         p.ensure_workers(self.threads - 1);
-
-        let total = jobs.len();
-        let (tx, rx) = crossbeam::channel::unbounded::<Completion<()>>();
-        let entries = jobs
-            .into_iter()
-            .enumerate()
-            .map(|(i, job)| {
-                let tx = tx.clone();
-                let job: Job = Box::new(move || {
-                    let out = catch_unwind(AssertUnwindSafe(job));
-                    let _ = tx.send((i, out));
-                });
-                Entry { window: true, job }
-            })
-            .collect();
-        drop(tx);
-        p.push(entries);
-
-        let mut received = 0usize;
-        while received < total {
-            // Help with window work only: this frame sits inside a
-            // trial, so stealing another whole trial here could nest
-            // trials unboundedly.
-            while let Some(job) = p.pop(true) {
-                job();
-                while let Ok((_, out)) = rx.try_recv() {
-                    received += 1;
-                    unwrap_completion(out);
-                }
-                if received == total {
-                    break;
-                }
-            }
-            if received == total {
-                break;
-            }
-            let (_, out) = rx.recv().expect("window job dropped its completion");
-            received += 1;
-            unwrap_completion(out);
-        }
+        p.core.run_batch(jobs, true, |_, _| ());
     }
 }
 
@@ -407,12 +285,14 @@ mod tests {
             .map(|_| {
                 let hits = Arc::clone(&hits);
                 let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    // dr-lint: allow(atomic-ordering): test counter, read only after the batch barrier
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
                 job
             })
             .collect();
         ex.run_jobs(jobs);
+        // dr-lint: allow(atomic-ordering): test counter, read only after the batch barrier
         assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 
@@ -443,12 +323,14 @@ mod tests {
                 .map(|j| {
                     let sum = Arc::clone(&sum);
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        // dr-lint: allow(atomic-ordering): test counter, read only after the batch barrier
                         sum.fetch_add(t * 10 + j, Ordering::Relaxed);
                     });
                     job
                 })
                 .collect();
             ex.run_jobs(jobs);
+            // dr-lint: allow(atomic-ordering): test counter, read only after the batch barrier
             sum.load(Ordering::Relaxed)
         });
         set_threads(0);

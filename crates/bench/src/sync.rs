@@ -1,0 +1,20 @@
+//! Synchronization facade for the execution plane.
+//!
+//! Everything in `plane::core` (and anything else whose interleavings we
+//! want model-checked) constructs its primitives through this module. With
+//! the default feature set these are exactly `std::sync`; under the
+//! `loom-model` feature they swap to the vendored `loom` model checker,
+//! whose primitives behave like `std` outside `loom::model` and become
+//! scheduler yield points inside it. That single switch is what lets
+//! `tests/loom_plane.rs` exhaustively interleave the injector/parking/help
+//! protocol without a second copy of the code.
+//!
+//! The `atomic-ordering` and `sync-primitive-outside-facade` lints key off
+//! this file: raw primitive construction anywhere else needs a justified
+//! allow, so the set of unchecked synchronization sites stays enumerable.
+
+#[cfg(feature = "loom-model")]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom-model"))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};

@@ -130,6 +130,7 @@ impl ChunkedSource {
             seed,
             chunk_words,
             max_resident,
+            // dr-lint: allow(sync-primitive-outside-facade): parking_lot cache lock private to one source; serializes chunk generation only, no cross-lock protocol for loom to model
             cache: Mutex::new(ChunkCache {
                 chunks: DetMap::new(),
                 fifo: VecDeque::new(),

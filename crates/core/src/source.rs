@@ -130,6 +130,7 @@ impl QueryMeter {
     /// Creates a meter for `num_peers` peers, counting only.
     pub fn new(num_peers: usize) -> Self {
         QueryMeter {
+            // dr-lint: allow(sync-primitive-outside-facade): per-peer counters shared across shard jobs; the fold protocol over them is modelled by dr-sim's loom_fold suite at the slots layer
             counts: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
             index_log: None,
         }
@@ -140,13 +141,16 @@ impl QueryMeter {
     /// target peer never queried).
     pub fn with_index_tracking(num_peers: usize) -> Self {
         QueryMeter {
+            // dr-lint: allow(sync-primitive-outside-facade): same counters as `new`, covered by the loom_fold suite
             counts: (0..num_peers).map(|_| AtomicU64::new(0)).collect(),
+            // dr-lint: allow(sync-primitive-outside-facade): parking_lot index log; appended under lock, read only after the run
             index_log: Some((0..num_peers).map(|_| Mutex::new(Vec::new())).collect()),
         }
     }
 
     /// Records that `peer` queried `index`.
     pub fn record(&self, peer: PeerId, index: usize) {
+        // dr-lint: allow(atomic-ordering): independent monotonic counter; readers observe it only past a barrier or at end of run, never to publish other data
         self.counts[peer.index()].fetch_add(1, Ordering::Relaxed);
         if let Some(log) = &self.index_log {
             log[peer.index()].lock().push(index);
@@ -159,6 +163,7 @@ impl QueryMeter {
     /// Equivalent to calling [`QueryMeter::record`] for each index in turn,
     /// both in counts and in the recorded log.
     pub fn record_range(&self, peer: PeerId, range: Range<usize>) {
+        // dr-lint: allow(atomic-ordering): same counter discipline as `record`
         self.counts[peer.index()].fetch_add(range.len() as u64, Ordering::Relaxed);
         if let Some(log) = &self.index_log {
             log[peer.index()].lock().extend(range);
@@ -167,6 +172,7 @@ impl QueryMeter {
 
     /// Number of queries made by `peer` so far.
     pub fn count(&self, peer: PeerId) -> u64 {
+        // dr-lint: allow(atomic-ordering): count read for reporting; callers sequence it after the writes they care about (join/barrier)
         self.counts[peer.index()].load(Ordering::Relaxed)
     }
 
@@ -174,6 +180,7 @@ impl QueryMeter {
     pub fn counts(&self) -> Vec<u64> {
         self.counts
             .iter()
+            // dr-lint: allow(atomic-ordering): same read-side discipline as `count`
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
@@ -233,6 +240,7 @@ impl QueryMeter {
             let l = l as usize;
             delta.in_dirty[l] = false;
             let peer = l * delta.num_shards + delta.shard;
+            // dr-lint: allow(atomic-ordering): fold runs on the window coordinator after the executor barrier; the delta values are already synchronized by the join
             self.counts[peer].fetch_add(delta.counts[l], Ordering::Relaxed);
             delta.counts[l] = 0;
             if let (Some(log), Some(buf)) = (&self.index_log, &mut delta.indices) {

@@ -1,0 +1,23 @@
+//! Fixture: `atomic-ordering` — imports stay silent, call sites fire
+//! (with `SeqCst` called out as the lazy default), and a justified allow
+//! suppresses exactly its line.
+
+use std::sync::atomic::Ordering;
+use std::sync::atomic::Ordering::Relaxed;
+
+fn violations(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+    let _ = flag.load(Ordering::Acquire);
+    flag.store(false, Ordering::SeqCst);
+}
+
+fn justified(flag: &std::sync::atomic::AtomicBool) {
+    // dr-lint: allow(atomic-ordering): fixture flag orders nothing; exactness is all that matters
+    flag.store(true, Ordering::Release);
+}
+
+fn bare_import_is_an_accepted_gap(flag: &std::sync::atomic::AtomicBool) {
+    // A bare `Relaxed` (imported above) has no `Ordering::` path for the
+    // tokenizer to anchor on; the audit keeps call sites path-qualified.
+    flag.store(true, Relaxed);
+}

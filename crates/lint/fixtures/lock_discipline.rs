@@ -1,0 +1,44 @@
+//! Fixture: `lock-discipline` — acquiring a lock while another guard
+//! binding is live fires; drop-released, block-scoped, and
+//! statement-temporary locking stays silent; an allow with a stated lock
+//! order suppresses.
+
+use std::sync::{Mutex, RwLock};
+
+fn nested_guards_fire(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    let _ = (*ga, *gb);
+}
+
+fn drop_released_is_clean(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    drop(ga);
+    let gb = b.lock().unwrap();
+    drop(gb);
+}
+
+fn block_scoped_is_clean(a: &Mutex<u32>, b: &Mutex<u32>) {
+    {
+        let _ga = a.lock().unwrap();
+    }
+    let _gb = b.lock().unwrap();
+}
+
+fn statement_temporaries_are_clean(a: &Mutex<Vec<u32>>, b: &Mutex<Vec<u32>>) {
+    a.lock().unwrap().push(1);
+    b.lock().unwrap().push(2);
+}
+
+fn write_guard_under_mutex_fires(a: &Mutex<u32>, r: &RwLock<u32>) {
+    let ga = a.lock().unwrap();
+    let w = r.write().unwrap();
+    let _ = (*ga, *w);
+}
+
+fn stated_order_is_justified(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    // dr-lint: allow(lock-discipline): fixture-wide lock order is a before b, everywhere
+    let gb = b.lock().unwrap();
+    let _ = (*ga, *gb);
+}

@@ -16,10 +16,21 @@
 //! | `missing-forbid-unsafe` | `lib.rs` roots | — |
 //! | `bad-allow` | always | always |
 //! | `payload-clone` | always | — |
-//! | `raw-thread-spawn` | always | always (except `bench/src/plane.rs`) |
+//! | `raw-thread-spawn` | always | always (except `bench/src/plane/`) |
+//! | `atomic-ordering` | always | always |
+//! | `lock-discipline` | always | always |
+//! | `sync-primitive-outside-facade` | always | always |
 //!
 //! The deterministic tier is `core`, `sim`, `protocols`, `oracle`; the
 //! tooling tier is `bench`, `cli`, `runtime`, and `lint` itself.
+//!
+//! The three concurrency rules share two carve-outs: the sync facades
+//! (`crates/bench/src/sync.rs`, `crates/sim/src/sync.rs`) and the plane
+//! module are the sanctioned owners of raw primitives, and files driving
+//! the vendored `loom` checker are the modelling layer itself. Everywhere
+//! else, an explicit `Ordering::*`, a nested lock guard, or a raw
+//! primitive construction needs an anchored
+//! `dr-lint: allow(<rule>): <justification>`.
 //!
 //! Escape hatch: a comment of the form
 //! `// dr-lint: allow(<rule>): <justification>` suppresses that rule on
@@ -37,8 +48,9 @@ pub mod rules;
 pub mod tokenizer;
 
 pub use rules::{
-    check_source, ALL_RULES, RULE_BAD_ALLOW, RULE_ENTROPY_RNG, RULE_FORBID_UNSAFE,
-    RULE_PAYLOAD_CLONE, RULE_RAW_THREAD, RULE_UNORDERED, RULE_WALL_CLOCK,
+    check_source, ALL_RULES, RULE_ATOMIC_ORDERING, RULE_BAD_ALLOW, RULE_ENTROPY_RNG,
+    RULE_FORBID_UNSAFE, RULE_LOCK_DISCIPLINE, RULE_PAYLOAD_CLONE, RULE_RAW_THREAD,
+    RULE_SYNC_OUTSIDE_FACADE, RULE_UNORDERED, RULE_WALL_CLOCK,
 };
 
 use std::fmt::Write as _;

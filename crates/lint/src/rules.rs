@@ -26,6 +26,16 @@ pub const RULE_PAYLOAD_CLONE: &str = "payload-clone";
 /// Rule: raw `thread::spawn`/`thread::scope`/`thread::Builder` outside the
 /// unified execution plane (`dr_bench::plane`).
 pub const RULE_RAW_THREAD: &str = "raw-thread-spawn";
+/// Rule: explicit atomic memory orderings without a justifying allow
+/// (`SeqCst` is flagged as a lazy default, weaker orderings as claims
+/// that need their invariant stated).
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule: a lock acquired while another guard binding is still live in the
+/// same lexical scope (nested-guard deadlock risk).
+pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule: raw `Mutex`/`Condvar`/`RwLock`/`Atomic*` construction outside the
+/// sync facade and the execution plane, invisible to the loom models.
+pub const RULE_SYNC_OUTSIDE_FACADE: &str = "sync-primitive-outside-facade";
 
 /// Every rule name, for `allow(...)` validation and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -36,11 +46,41 @@ pub const ALL_RULES: &[&str] = &[
     RULE_BAD_ALLOW,
     RULE_PAYLOAD_CLONE,
     RULE_RAW_THREAD,
+    RULE_ATOMIC_ORDERING,
+    RULE_LOCK_DISCIPLINE,
+    RULE_SYNC_OUTSIDE_FACADE,
 ];
 
-/// The one file sanctioned to own OS threads: the unified work-stealing
-/// plane every other crate is supposed to schedule onto.
-const PLANE_FILE: &str = "crates/bench/src/plane.rs";
+/// The files sanctioned to own OS threads and raw primitives: the unified
+/// work-stealing plane (now a module directory) every other crate is
+/// supposed to schedule onto.
+fn is_plane_file(file: &str) -> bool {
+    file == "crates/bench/src/plane.rs" || file.starts_with("crates/bench/src/plane/")
+}
+
+/// The sync facades: the swap points where `std::sync` becomes `loom::sync`
+/// under the `loom-model` feature. Primitive re-exports live here by
+/// definition, so the facade-routing rules do not apply to them.
+const FACADE_FILES: &[&str] = &["crates/bench/src/sync.rs", "crates/sim/src/sync.rs"];
+
+/// Primitive types whose *construction* the `sync-primitive-outside-facade`
+/// rule polices.
+const SYNC_PRIMITIVES: &[&str] = &[
+    "Mutex",
+    "Condvar",
+    "RwLock",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+];
 
 /// Bindings the `payload-clone` rule treats as message payloads. These are
 /// the conventional names protocol code gives to `BitArray`-typed data
@@ -157,9 +197,42 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
     let feeds_replay = tokens
         .iter()
         .any(|t| t.is_ident("ScheduleTrace") || t.is_ident("RunReport"));
+    // Files that drive the vendored model checker (`loom::` paths) are the
+    // modelling layer itself: loom collapses every ordering to SeqCst and
+    // its primitives are the instrumented stand-ins, so the atomic and
+    // facade rules would only police the checker's own scaffolding.
+    let imports_model_checker = tokens
+        .windows(3)
+        .any(|w| w[0].is_ident("loom") && w[1].is_punct(':') && w[2].is_punct(':'));
+    // Files that construct primitives *through* a sync facade path
+    // (`crate::sync`, `dr_bench::sync`, `dr_sim::sync`) are already routed
+    // through the swap point the facade rule exists to enforce.
+    let uses_facade_sync = tokens.iter().enumerate().any(|(i, t)| {
+        t.is_ident("sync")
+            && (path_prefix_is(tokens, i, "crate")
+                || path_prefix_is(tokens, i, "dr_bench")
+                || path_prefix_is(tokens, i, "dr_sim"))
+    });
+    let is_facade = FACADE_FILES.contains(&file);
+    // `.write()`/`.read()` only mean lock acquisition in files that
+    // actually use an RwLock (io traits share the method names).
+    let has_rwlock = tokens.iter().any(|t| t.is_ident("RwLock"));
+
+    // Whether the current token sits inside a `use` declaration. Imports
+    // name orderings without *using* them (`use std::sync::atomic::Ordering`
+    // or even `Ordering::Relaxed`), so the atomic-ordering rule must not
+    // treat them like call sites.
+    let mut in_use = false;
 
     for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct(';') {
+            in_use = false;
+        }
         if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "use" {
+            in_use = true;
             continue;
         }
         match t.text.as_str() {
@@ -301,7 +374,14 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
             // both tiers — deterministic crates must not thread at all,
             // and tooling crates must route through `dr_bench::plane`.
             "spawn" | "scope" | "Builder"
-                if file != PLANE_FILE && path_prefix_is(tokens, i, "thread") =>
+                if !is_plane_file(file)
+                    && path_prefix_is(tokens, i, "thread")
+                    // `loom::thread::spawn` creates *model* threads inside
+                    // the checker, not OS threads competing with the plane.
+                    && !(i >= 6
+                        && tokens[i - 4].is_punct(':')
+                        && tokens[i - 5].is_punct(':')
+                        && tokens[i - 6].is_ident("loom")) =>
             {
                 raw.push(Diagnostic {
                     file: file.to_string(),
@@ -319,6 +399,75 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
                             .into(),
                 });
             }
+            // atomic-ordering: every explicit ordering at a call site is a
+            // claim about the program's happens-before graph. `SeqCst` is
+            // flagged as the lazy default (it hides the actual invariant
+            // and costs fences); weaker orderings are flagged until the
+            // invariant they rely on is stated in an anchored allow. The
+            // facade and the model-checking layer are exempt — loom
+            // collapses all orderings to SeqCst by construction.
+            "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+                if path_prefix_is(tokens, i, "Ordering")
+                    && !in_use
+                    && !is_facade
+                    && !imports_model_checker =>
+            {
+                let (message, suggestion) = if t.text == "SeqCst" {
+                    (
+                        "Ordering::SeqCst is the lazy default, not a justification".to_string(),
+                        "pick the weakest ordering the invariant actually needs and state it \
+                         with `// dr-lint: allow(atomic-ordering): <invariant>` (DESIGN.md §4); \
+                         keep SeqCst only with a written reason"
+                            .to_string(),
+                    )
+                } else {
+                    (
+                        format!(
+                            "Ordering::{} asserts a memory-ordering invariant without stating it",
+                            t.text
+                        ),
+                        "anchor `// dr-lint: allow(atomic-ordering): <why this ordering is \
+                         sufficient>` on this line (DESIGN.md §4 has the contract), or route \
+                         the atomic through the sync facade so loom models it"
+                            .to_string(),
+                    )
+                };
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_ATOMIC_ORDERING,
+                    message,
+                    suggestion,
+                });
+            }
+            // sync-primitive-outside-facade: a primitive constructed
+            // outside the facade/plane never swaps to its loom stand-in,
+            // so the concurrency models cannot see it and the loom suites
+            // silently lose coverage.
+            name if SYNC_PRIMITIVES.contains(&name)
+                && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|a| a.is_ident("new"))
+                && !is_plane_file(file)
+                && !is_facade
+                && !imports_model_checker
+                && !uses_facade_sync =>
+            {
+                raw.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: RULE_SYNC_OUTSIDE_FACADE,
+                    message: format!("raw {name}::new outside the sync facade"),
+                    suggestion: format!(
+                        "construct through the crate's sync facade (src/sync.rs) so the \
+                         loom-model feature can swap in the checked primitive, or justify \
+                         with `// dr-lint: allow(sync-primitive-outside-facade): <why {name} \
+                         cannot be modelled>`"
+                    ),
+                });
+            }
             "random" if tier == Tier::Deterministic && path_prefix_is(tokens, i, "rand") => {
                 raw.push(Diagnostic {
                     file: file.to_string(),
@@ -332,6 +481,74 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
                 });
             }
             _ => {}
+        }
+    }
+
+    // lock-discipline: a tokenizer-level nesting heuristic in the style of
+    // `payload-clone`. A guard binding (`let g = x.lock()…`) is live from
+    // its statement until `drop(g)` or the end of its block; acquiring
+    // another lock while one is live is the two-guard shape that invites
+    // ABBA deadlocks (the exact bug class `loom_plane.rs` models), so it
+    // needs an anchored allow stating the lock order. Statement-temporary
+    // guards (`x.lock().unwrap().push(…)`) do not outlive their statement
+    // and are not tracked.
+    {
+        let mut depth = 0usize;
+        let mut guards: Vec<(String, usize)> = Vec::new();
+        // Token index where the current statement begins, for spotting
+        // `let <name> = … .lock() …;` bindings.
+        let mut stmt_start = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_punct('{') {
+                depth += 1;
+                stmt_start = i + 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.1 <= depth);
+                stmt_start = i + 1;
+            } else if t.is_punct(';') {
+                stmt_start = i + 1;
+            } else if t.is_ident("drop")
+                && tokens.get(i + 1).is_some_and(|a| a.is_punct('('))
+                && tokens.get(i + 3).is_some_and(|a| a.is_punct(')'))
+            {
+                if let Some(n) = tokens.get(i + 2) {
+                    guards.retain(|g| g.0 != n.text);
+                }
+            } else if t.kind == TokenKind::Ident
+                && (t.text == "lock" || (has_rwlock && (t.text == "write" || t.text == "read")))
+                && i >= 1
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|a| a.is_punct('('))
+            {
+                if let Some((name, _)) = guards.first() {
+                    raw.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        rule: RULE_LOCK_DISCIPLINE,
+                        message: format!(
+                            "`.{}()` acquired while guard `{name}` is still live in this scope",
+                            t.text
+                        ),
+                        suggestion: format!(
+                            "release `{name}` first (drop({name}) or a narrower block), or \
+                             state the global lock order with \
+                             `// dr-lint: allow(lock-discipline): <order>`"
+                        ),
+                    });
+                }
+                // A `let`-bound guard outlives its statement.
+                if tokens.get(stmt_start).is_some_and(|a| a.is_ident("let")) {
+                    let mut j = stmt_start + 1;
+                    while tokens.get(j).is_some_and(|a| a.is_ident("mut")) {
+                        j += 1;
+                    }
+                    if let Some(name) = tokens.get(j).filter(|a| a.kind == TokenKind::Ident) {
+                        guards.push((name.text.clone(), depth));
+                    }
+                }
+            }
         }
     }
 

@@ -148,9 +148,116 @@ fn raw_thread_spawn_fires_in_both_tiers_but_not_in_the_plane() {
         false,
     );
     assert_eq!(rule_count(&diags, "raw-thread-spawn"), 3, "{diags:?}");
-    // The plane itself is the sanctioned owner of OS threads.
+    // The plane itself is the sanctioned owner of OS threads — both the
+    // old single-file path and the module directory it grew into.
     let diags = check_source("crates/bench/src/plane.rs", &src, Tier::Tooling, false);
     assert_eq!(rule_count(&diags, "raw-thread-spawn"), 0, "{diags:?}");
+    let diags = check_source("crates/bench/src/plane/core.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 0, "{diags:?}");
+}
+
+#[test]
+fn loom_thread_spawn_is_model_threads_not_os_threads() {
+    // `loom::thread::spawn` creates threads *inside* the model checker;
+    // only unqualified/std spawns compete with the plane for cores.
+    let model = "fn m() { let h = loom::thread::spawn(|| 1); h.join().unwrap(); }";
+    let diags = check_source("crates/bench/tests/fixture.rs", model, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 0, "{diags:?}");
+    let os = "fn m() { std::thread::spawn(|| 1); }";
+    let diags = check_source("crates/bench/tests/fixture.rs", os, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "raw-thread-spawn"), 1, "{diags:?}");
+}
+
+#[test]
+fn atomic_ordering_fires_at_call_sites_not_imports() {
+    let src = fixture("atomic_ordering.rs");
+    let diags = check_source(
+        "crates/core/src/fixture.rs",
+        &src,
+        Tier::Deterministic,
+        false,
+    );
+    // Relaxed store + Acquire load + SeqCst store; the two `use` lines,
+    // the allowed Release, and the bare-ident gap stay silent.
+    assert_eq!(rule_count(&diags, "atomic-ordering"), 3, "{diags:?}");
+    assert_eq!(diags.len(), 3);
+    assert!(
+        diags.iter().any(|d| d.message.contains("lazy default")),
+        "SeqCst should get the lazy-default message: {diags:?}"
+    );
+    // The rule polices both tiers.
+    let diags = check_source("crates/bench/src/fixture.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "atomic-ordering"), 3, "{diags:?}");
+    // The facade is exempt by path; model-checking files by their
+    // `loom::` imports (loom collapses every ordering to SeqCst anyway).
+    let diags = check_source("crates/bench/src/sync.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "atomic-ordering"), 0, "{diags:?}");
+    let model_src = format!("use loom::sync::atomic::Ordering;\n{src}");
+    let diags = check_source(
+        "crates/bench/tests/fixture.rs",
+        &model_src,
+        Tier::Tooling,
+        false,
+    );
+    assert_eq!(rule_count(&diags, "atomic-ordering"), 0, "{diags:?}");
+}
+
+#[test]
+fn lock_discipline_flags_nested_guards_only() {
+    let src = fixture("lock_discipline.rs");
+    let diags = check_source(
+        "crates/sim/src/fixture.rs",
+        &src,
+        Tier::Deterministic,
+        false,
+    );
+    // Nested mutex guards + RwLock write under a live mutex guard; the
+    // drop-released, block-scoped, temporary, and allowed variants are
+    // silent.
+    assert_eq!(rule_count(&diags, "lock-discipline"), 2, "{diags:?}");
+    assert_eq!(diags.len(), 2);
+    assert!(
+        diags.iter().all(|d| d.message.contains("`ga`")),
+        "{diags:?}"
+    );
+    // Without an RwLock in the file, `.write()` is just io.
+    let io = "fn f(w: &mut impl std::io::Write, m: &std::sync::Mutex<u32>) {\n\
+              \x20   let g = m.lock().unwrap();\n\
+              \x20   w.write(&[*g as u8]).unwrap();\n}\n";
+    let diags = check_source("crates/cli/src/fixture.rs", io, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "lock-discipline"), 0, "{diags:?}");
+}
+
+#[test]
+fn sync_primitive_construction_needs_the_facade() {
+    let src = fixture("sync_outside_facade.rs");
+    let diags = check_source("crates/runtime/src/fixture.rs", &src, Tier::Tooling, false);
+    // Mutex::new + Condvar::new + AtomicU64::new on the construction
+    // line; the justified one and the mere-use function are silent.
+    assert_eq!(
+        rule_count(&diags, "sync-primitive-outside-facade"),
+        3,
+        "{diags:?}"
+    );
+    assert_eq!(diags.len(), 3);
+    // Exempt by path: the plane module and the facades themselves.
+    let diags = check_source("crates/bench/src/plane/core.rs", &src, Tier::Tooling, false);
+    assert_eq!(rule_count(&diags, "sync-primitive-outside-facade"), 0);
+    let diags = check_source("crates/sim/src/sync.rs", &src, Tier::Deterministic, false);
+    assert_eq!(rule_count(&diags, "sync-primitive-outside-facade"), 0);
+    // Exempt by import: construction routed through a crate's facade.
+    let routed = format!("use crate::sync::Mutex;\n{src}");
+    let diags = check_source(
+        "crates/sim/src/fixture.rs",
+        &routed,
+        Tier::Deterministic,
+        false,
+    );
+    assert_eq!(
+        rule_count(&diags, "sync-primitive-outside-facade"),
+        0,
+        "{diags:?}"
+    );
 }
 
 #[test]

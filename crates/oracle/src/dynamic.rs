@@ -39,12 +39,14 @@ impl DriftingSource {
             before,
             after,
             drift_after,
+            // dr-lint: allow(sync-primitive-outside-facade): single counter driving the drift cutover; exercised single-threaded by the simulator
             served: AtomicU64::new(0),
         }
     }
 
     /// Queries served so far.
     pub fn served(&self) -> u64 {
+        // dr-lint: allow(atomic-ordering): diagnostic read; no memory is published through this counter
         self.served.load(Ordering::Relaxed)
     }
 }
@@ -55,6 +57,7 @@ impl Source for DriftingSource {
     }
 
     fn bit(&self, index: usize) -> bool {
+        // dr-lint: allow(atomic-ordering): the cutover only needs the counter itself to be exact, not to order other memory
         let count = self.served.fetch_add(1, Ordering::Relaxed);
         if count < self.drift_after {
             self.before.get(index)

@@ -29,6 +29,8 @@ mod report;
 mod schedule;
 mod shard;
 mod sim;
+pub mod slots;
+pub mod sync;
 mod time;
 mod trace;
 mod view;

@@ -225,6 +225,7 @@ impl<M: ProtocolMessage> RecordingAdversary<M> {
     /// Wraps `inner`, returning the recorder and a handle to the trace it
     /// will fill in.
     pub fn new(inner: impl Adversary<M> + 'static) -> (Self, TraceHandle) {
+        // dr-lint: allow(sync-primitive-outside-facade): parking_lot trace cell; written by the single-threaded sim loop, read after the run
         let trace = Arc::new(Mutex::new(ScheduleTrace::default()));
         let handle = TraceHandle(trace.clone());
         (

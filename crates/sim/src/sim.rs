@@ -48,12 +48,12 @@ use crate::lane::{Lane, LaneCtx, Pass1Outcome, WindowExecutor};
 use crate::linkfault::{LinkDecision, RuntimeLinkState};
 use crate::report::{RunError, RunReport};
 use crate::shard::{EventKind, EventPump, MsgSlab, QueuedEvent};
+use crate::slots::ResultSlots;
 use crate::time::{Ticks, TICKS_PER_UNIT};
 use crate::trace::TraceEntry;
 use crate::view::{LaneFlags, PeerRole, PeerStatus, View};
 use dr_core::collections::DetMap;
 use dr_core::{BitArray, ModelParams, PeerId, PeerSet, ProtocolMessage, SharedSource};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -813,10 +813,10 @@ impl<M: ProtocolMessage> Simulation<M> {
             }
         }
         // Pass 1: move each participating shard's lane and slab into a
-        // job; results come home through per-shard slots.
-        type LaneResult<M> = Option<(Lane<M>, MsgSlab<M>, Vec<Pass1Outcome<M>>)>;
-        let results: Arc<Mutex<Vec<LaneResult<M>>>> =
-            Arc::new(Mutex::new((0..num_shards).map(|_| None).collect()));
+        // job; results come home through write-once per-shard slots (the
+        // put/drain protocol is model-checked in tests/loom_fold.rs).
+        type LaneResult<M> = (Lane<M>, MsgSlab<M>, Vec<Pass1Outcome<M>>);
+        let results: Arc<ResultSlots<LaneResult<M>>> = Arc::new(ResultSlots::new(num_shards));
         let params = self.params;
         let mut lent = vec![false; num_shards];
         let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
@@ -833,7 +833,7 @@ impl<M: ProtocolMessage> Simulation<M> {
             let slots = Arc::clone(&results);
             jobs.push(Box::new(move || {
                 let outcomes = lane.run_window(&mut slab, &events, &params);
-                slots.lock()[s] = Some((lane, slab, outcomes));
+                slots.put(s, (lane, slab, outcomes));
             }));
         }
         executor.run_jobs(jobs);
@@ -844,7 +844,7 @@ impl<M: ProtocolMessage> Simulation<M> {
         let mut outcomes: Vec<std::vec::IntoIter<Pass1Outcome<M>>> =
             (0..num_shards).map(|_| Vec::new().into_iter()).collect();
         {
-            let mut slots = results.lock();
+            let mut slots = results.take_all();
             for (s, was_lent) in lent.iter().enumerate() {
                 if !was_lent {
                     continue;

@@ -1,0 +1,50 @@
+//! Window-barrier result slots.
+//!
+//! Pass 1 of a parallel window lends each participating shard's lane and
+//! slab to a job on the execution plane; each job returns them through
+//! exactly one slot here. The coordinator drains the slots at the window
+//! barrier and folds every shard's `MeterDelta` into the shared
+//! `QueryMeter` exactly once — the "exactly once" is load-bearing for
+//! bit-identity (a double-fold would double-count queries; a missed fold
+//! would drop them), so [`ResultSlots::put`] panics on a second write to
+//! the same slot rather than silently overwriting.
+//!
+//! Built on the [`crate::sync`] facade: under the `loom-model` feature the
+//! slot mutex is a loom primitive and `tests/loom_fold.rs` model-checks
+//! the put/drain protocol across every interleaving of shard jobs.
+
+use crate::sync::Mutex;
+
+/// One write-once slot per shard, shared between lane jobs and the window
+/// coordinator.
+pub struct ResultSlots<T> {
+    slots: Mutex<Vec<Option<T>>>,
+}
+
+impl<T> ResultSlots<T> {
+    /// `count` empty slots.
+    pub fn new(count: usize) -> Self {
+        ResultSlots {
+            slots: Mutex::new((0..count).map(|_| None).collect()),
+        }
+    }
+
+    /// Fills slot `index`, panicking if it was already filled — a
+    /// double-put means two jobs ran for the same shard, which would
+    /// double-fold that shard's meter delta.
+    pub fn put(&self, index: usize, value: T) {
+        let mut slots = self.slots.lock().unwrap();
+        assert!(
+            slots[index].is_none(),
+            "window result slot {index} written twice"
+        );
+        slots[index] = Some(value);
+    }
+
+    /// Drains every slot, leaving the container empty. Called once by the
+    /// coordinator after the executor's batch barrier, so each filled slot
+    /// is observed exactly once.
+    pub fn take_all(&self) -> Vec<Option<T>> {
+        std::mem::take(&mut *self.slots.lock().unwrap())
+    }
+}

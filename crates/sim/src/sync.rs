@@ -1,0 +1,19 @@
+//! Synchronization facade for the simulator's window barrier.
+//!
+//! The only cross-thread state the simulator owns is the per-shard result
+//! slot vector ([`crate::slots::ResultSlots`]) that pass-1 lane jobs write
+//! and the window barrier drains. Its mutex is constructed through this
+//! module: `std::sync` by default, the vendored `loom` model checker under
+//! the `loom-model` feature (std-equivalent outside `loom::model`), so
+//! `tests/loom_fold.rs` can exhaustively interleave the shard-delta fold
+//! protocol against the real `MeterDelta`/`QueryMeter` code.
+//!
+//! The `sync-primitive-outside-facade` lint keys off this file: raw
+//! primitive construction elsewhere in the deterministic tier needs a
+//! justified allow.
+
+#[cfg(feature = "loom-model")]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom-model"))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};

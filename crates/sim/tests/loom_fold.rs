@@ -1,0 +1,111 @@
+//! Exhaustive model checks for the window-barrier meter fold.
+//!
+//! Run with `cargo test -p dr-sim --features loom-model --test loom_fold`.
+//! The property under check is the one `crate::slots` documents as
+//! load-bearing for bit-identity: every shard's `MeterDelta` is folded
+//! into the shared `QueryMeter` **exactly once** per window, no matter how
+//! the shard jobs' slot writes interleave. A lost put would drop query
+//! charges; a double put would double-count them; both are modelled here.
+#![cfg(feature = "loom-model")]
+
+use dr_core::{PeerId, QueryMeter};
+use dr_sim::slots::ResultSlots;
+use loom::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn every_shard_delta_is_folded_exactly_once() {
+    loom::model(|| {
+        let num_shards = 2;
+        let meter = Arc::new(QueryMeter::new(4));
+        let slots = Arc::new(ResultSlots::new(num_shards));
+        // Shard 0 owns peers 0 and 2; shard 1 owns peers 1 and 3
+        // (peer.index() % num_shards), mirroring the sim's lane layout.
+        let handles: Vec<_> = (0..num_shards)
+            .map(|s| {
+                let meter = Arc::clone(&meter);
+                let slots = Arc::clone(&slots);
+                loom::thread::spawn(move || {
+                    let mut delta = meter.delta(s, num_shards);
+                    delta.record(PeerId(s), 0);
+                    delta.record(PeerId(s + num_shards), 1);
+                    delta.record(PeerId(s), 2);
+                    slots.put(s, delta);
+                })
+            })
+            .collect();
+        // The coordinator joins the batch (the executor's barrier) and only
+        // then drains: the model proves no schedule lets it observe a
+        // partial or duplicated set of deltas.
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut drained = slots.take_all();
+        assert_eq!(drained.len(), num_shards);
+        for slot in &mut drained {
+            let mut delta = slot.take().expect("every shard job filled its slot");
+            meter.fold(&mut delta);
+        }
+        // Exact per-peer counts: any lost or double-folded delta breaks this.
+        assert_eq!(meter.counts(), vec![2, 2, 1, 1]);
+        // A second drain sees nothing — the window cannot re-fold.
+        assert!(slots.take_all().iter().all(|s| s.is_none()));
+    });
+}
+
+#[test]
+fn skipped_shards_leave_empty_slots() {
+    // Windows where a shard lends no lane (no participating peers) leave
+    // its slot empty; the coordinator must skip it without folding.
+    loom::model(|| {
+        let meter = Arc::new(QueryMeter::new(3));
+        let slots = Arc::new(ResultSlots::new(3));
+        let worker = {
+            let meter = Arc::clone(&meter);
+            let slots = Arc::clone(&slots);
+            loom::thread::spawn(move || {
+                let mut delta = meter.delta(1, 3);
+                delta.record(PeerId(1), 7);
+                slots.put(1, delta);
+            })
+        };
+        worker.join().unwrap();
+        let mut folded = 0;
+        for slot in slots.take_all().iter_mut() {
+            if let Some(mut delta) = slot.take() {
+                meter.fold(&mut delta);
+                folded += 1;
+            }
+        }
+        assert_eq!(folded, 1);
+        assert_eq!(meter.counts(), vec![0, 1, 0]);
+    });
+}
+
+#[test]
+fn double_put_panics_instead_of_double_counting() {
+    // Two jobs claiming the same shard is the bug class the slot guard
+    // exists for: the second write must panic loudly ("written twice"),
+    // never silently overwrite (which would lose one delta) or append
+    // (which would double-fold).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let slots: ResultSlots<u32> = ResultSlots::new(1);
+            slots.put(0, 1);
+            slots.put(0, 2);
+        });
+    }));
+    let payload = result.expect_err("second put must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map_or_else(String::new, |s| (*s).to_owned())
+        });
+    assert!(
+        msg.contains("written twice"),
+        "unexpected panic message: {msg}"
+    );
+}

@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+//! Vendored stand-in for the [`loom`](https://github.com/tokio-rs/loom)
+//! concurrency model checker, written offline for this workspace.
+//!
+//! [`model`] runs a closure under a deterministic scheduler that owns every
+//! interleaving decision: each instrumented operation (mutex lock/unlock,
+//! condvar wait/notify, atomic access, spawn/join) is a *yield point* where
+//! the scheduler picks which runnable thread proceeds. The choice is recorded
+//! in a schedule trace; after each execution the trace is advanced
+//! depth-first, so repeated executions enumerate **every** schedule of the
+//! instrumented operations. Blocked-thread cycles are reported as deadlocks,
+//! and a panic on any explored schedule is resumed on the caller with the
+//! execution count that triggered it.
+//!
+//! Differences from real loom, accepted for this offline stand-in:
+//!
+//! - **Sequential consistency only.** Atomics are serialized at yield points;
+//!   weak-memory reorderings (`Relaxed`/`Acquire`/`Release` subtleties) are
+//!   not modeled. This checks lock/wakeup/protocol logic, not fence choice —
+//!   the `atomic-ordering` lint covers ordering justification separately.
+//! - **No spurious condvar wakeups.** `Condvar::wait` returns only after a
+//!   notify (callers must loop on their predicate anyway; the lost-wakeup
+//!   schedules this tool explores are the bugs that matter).
+//! - `notify_one` wakes the lowest-id waiter instead of branching over the
+//!   choice of waiter. Use `notify_all` in modeled code (the execution plane
+//!   does).
+//! - Mutexes and condvars must be **created inside the model closure** (the
+//!   scheduler must know every blocking primitive). Using one created outside
+//!   panics with a descriptive message. Atomics created outside the model are
+//!   tolerated but uninstrumented.
+//!
+//! Outside a model, every primitive falls back to plain `std::sync`
+//! behavior, so code built with the `loom-model` feature still runs normally
+//! when not under [`model`].
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

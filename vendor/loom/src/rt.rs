@@ -1,0 +1,471 @@
+//! The deterministic scheduler: one OS thread per model thread, exactly one
+//! of them runnable in user code at any instant, and a depth-first-explored
+//! trace of every multi-way scheduling decision.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Weak};
+
+pub(crate) type Tid = usize;
+
+/// Sentinel panic payload used to unwind model threads when an execution
+/// aborts (deadlock, nondeterminism, or another thread's failure). Filtered
+/// out before anything escapes to the caller of [`model`].
+pub(crate) struct Abort;
+
+/// Upper bound on scheduling decisions recorded in a single execution; a
+/// model that exceeds it is looping at a yield point and will never converge.
+const MAX_BRANCHES: usize = 1_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Runnable,
+    /// Waiting to acquire the mutex with this object id.
+    BlockedLock(usize),
+    /// Parked on the condvar with this object id.
+    BlockedCv(usize),
+    /// Waiting for this thread id to finish.
+    BlockedJoin(Tid),
+    Finished,
+}
+
+/// One recorded scheduling decision: which runnable threads existed, and
+/// which index into that set was chosen. Only points with more than one
+/// choice are recorded — single-choice points replay identically for free.
+struct Branch {
+    choices: Vec<Tid>,
+    chosen: usize,
+}
+
+struct Inner {
+    states: Vec<State>,
+    active: Option<Tid>,
+    /// Logical mutex ownership, indexed by object id (condvars allocate an
+    /// id from the same space; their slot is simply unused).
+    mutex_owner: Vec<Option<Tid>>,
+    schedule: Vec<Branch>,
+    /// Next index into `schedule` to replay; past the end we are recording.
+    pos: usize,
+    abort: Option<String>,
+    panic_payload: Option<Box<dyn Any + Send + 'static>>,
+    finished: usize,
+}
+
+pub(crate) struct Scheduler {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+}
+
+impl Scheduler {
+    fn new(schedule: Vec<Branch>) -> Self {
+        Scheduler {
+            inner: StdMutex::new(Inner {
+                states: Vec::new(),
+                active: None,
+                mutex_owner: Vec::new(),
+                schedule,
+                pos: 0,
+                abort: None,
+                panic_payload: None,
+                finished: 0,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_inner(&self) -> StdMutexGuard<'_, Inner> {
+        // A model thread can panic (deliberately) while the scheduler lock is
+        // *about* to be taken elsewhere; the scheduler's own state is always
+        // consistent at panic points, so poisoning is ignored.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut g = self.lock_inner();
+        g.states.push(State::Runnable);
+        g.states.len() - 1
+    }
+
+    fn set_active(&self, tid: Tid) {
+        self.lock_inner().active = Some(tid);
+    }
+
+    pub(crate) fn alloc_obj(&self) -> usize {
+        let mut g = self.lock_inner();
+        g.mutex_owner.push(None);
+        g.mutex_owner.len() - 1
+    }
+
+    /// Record `me`'s new state, pick the next thread to run, and (unless `me`
+    /// finished) block until `me` is scheduled again. This is the single
+    /// place every scheduling decision flows through.
+    fn switch<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Inner>,
+        me: Tid,
+        state: State,
+    ) -> StdMutexGuard<'a, Inner> {
+        g.states[me] = state;
+        if state == State::Finished {
+            g.finished += 1;
+        }
+        if g.abort.is_some() {
+            self.cv.notify_all();
+            if state == State::Finished {
+                return g;
+            }
+            drop(g);
+            panic::panic_any(Abort);
+        }
+        let choices: Vec<Tid> = g
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == State::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        if choices.is_empty() {
+            if g.finished == g.states.len() {
+                g.active = None;
+                self.cv.notify_all();
+                return g;
+            }
+            let dump: Vec<String> = g
+                .states
+                .iter()
+                .enumerate()
+                .map(|(t, s)| format!("t{t}:{s:?}"))
+                .collect();
+            g.abort = Some(format!(
+                "deadlock: no runnable thread [{}]",
+                dump.join(", ")
+            ));
+            g.active = None;
+            self.cv.notify_all();
+            if state == State::Finished {
+                return g;
+            }
+            drop(g);
+            panic::panic_any(Abort);
+        }
+        let next = if choices.len() == 1 {
+            choices[0]
+        } else if g.pos < g.schedule.len() {
+            let p = g.pos;
+            if g.schedule[p].choices != choices {
+                g.abort = Some(format!(
+                    "nondeterministic model: replay expected runnable set {:?}, found {:?} \
+                     (model closures must be deterministic between scheduling decisions)",
+                    g.schedule[p].choices, choices
+                ));
+                self.cv.notify_all();
+                if state == State::Finished {
+                    return g;
+                }
+                drop(g);
+                panic::panic_any(Abort);
+            }
+            g.pos += 1;
+            choices[g.schedule[p].chosen]
+        } else {
+            if g.schedule.len() >= MAX_BRANCHES {
+                g.abort = Some(format!(
+                    "schedule exceeded {MAX_BRANCHES} decisions in one execution; \
+                     the model is looping at a yield point"
+                ));
+                self.cv.notify_all();
+                if state == State::Finished {
+                    return g;
+                }
+                drop(g);
+                panic::panic_any(Abort);
+            }
+            g.schedule.push(Branch {
+                choices: choices.clone(),
+                chosen: 0,
+            });
+            g.pos += 1;
+            choices[0]
+        };
+        g.active = Some(next);
+        self.cv.notify_all();
+        if state == State::Finished {
+            return g;
+        }
+        self.wait_scheduled(g, me)
+    }
+
+    fn wait_scheduled<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Inner>,
+        me: Tid,
+    ) -> StdMutexGuard<'a, Inner> {
+        loop {
+            if g.abort.is_some() {
+                drop(g);
+                panic::panic_any(Abort);
+            }
+            if g.states[me] == State::Runnable && g.active == Some(me) {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain interleaving point: every instrumented operation calls this
+    /// first, letting any other runnable thread run instead.
+    pub(crate) fn yield_point(&self, me: Tid) {
+        if std::thread::panicking() {
+            // Drop paths during unwinding must not re-panic or reschedule.
+            return;
+        }
+        let g = self.lock_inner();
+        let g = self.switch(g, me, State::Runnable);
+        drop(g);
+    }
+
+    /// Block a freshly spawned thread until the scheduler first picks it.
+    pub(crate) fn first_schedule(&self, me: Tid) {
+        let g = self.lock_inner();
+        let g = self.wait_scheduled(g, me);
+        drop(g);
+    }
+
+    /// Acquire logical ownership of mutex `obj`, blocking (in scheduler
+    /// terms) while another thread owns it. The caller takes the real
+    /// `std` lock afterwards, which is guaranteed uncontended.
+    pub(crate) fn acquire(&self, me: Tid, obj: usize) {
+        let mut g = self.lock_inner();
+        loop {
+            if g.mutex_owner[obj].is_none() {
+                g.mutex_owner[obj] = Some(me);
+                return;
+            }
+            g = self.switch(g, me, State::BlockedLock(obj));
+        }
+    }
+
+    /// Release logical ownership and make every thread blocked on this mutex
+    /// runnable again (they re-contend at their next scheduling).
+    /// Deliberately not a yield point: nothing observable happens between an
+    /// unlock and the unlocking thread's next instrumented operation.
+    pub(crate) fn release(&self, me: Tid, obj: usize) {
+        let mut g = self.lock_inner();
+        if g.mutex_owner[obj] == Some(me) {
+            g.mutex_owner[obj] = None;
+        }
+        for s in g.states.iter_mut() {
+            if *s == State::BlockedLock(obj) {
+                *s = State::Runnable;
+            }
+        }
+    }
+
+    /// Atomically release `mutex_obj`, park on `cv_obj`, and — once notified
+    /// and scheduled — reacquire the mutex.
+    pub(crate) fn cv_wait(&self, me: Tid, cv_obj: usize, mutex_obj: usize) {
+        let mut g = self.lock_inner();
+        if g.mutex_owner[mutex_obj] == Some(me) {
+            g.mutex_owner[mutex_obj] = None;
+        }
+        for s in g.states.iter_mut() {
+            if *s == State::BlockedLock(mutex_obj) {
+                *s = State::Runnable;
+            }
+        }
+        g = self.switch(g, me, State::BlockedCv(cv_obj));
+        loop {
+            if g.mutex_owner[mutex_obj].is_none() {
+                g.mutex_owner[mutex_obj] = Some(me);
+                return;
+            }
+            g = self.switch(g, me, State::BlockedLock(mutex_obj));
+        }
+    }
+
+    /// Wake parked waiters of `cv_obj`. `all` wakes every waiter;
+    /// otherwise only the lowest-id one (documented stand-in behavior).
+    pub(crate) fn notify(&self, cv_obj: usize, all: bool) {
+        let mut g = self.lock_inner();
+        for s in g.states.iter_mut() {
+            if *s == State::BlockedCv(cv_obj) {
+                *s = State::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Block until `target` finishes.
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        let mut g = self.lock_inner();
+        while g.states[target] != State::Finished {
+            g = self.switch(g, me, State::BlockedJoin(target));
+        }
+    }
+
+    /// Mark `me` finished, wake joiners, record a user panic if one escaped
+    /// the thread, and hand the schedule to the next runnable thread.
+    pub(crate) fn finish_thread(&self, me: Tid, user_panic: Option<Box<dyn Any + Send + 'static>>) {
+        let mut g = self.lock_inner();
+        for s in g.states.iter_mut() {
+            if *s == State::BlockedJoin(me) {
+                *s = State::Runnable;
+            }
+        }
+        if let Some(p) = user_panic {
+            if g.panic_payload.is_none() {
+                g.panic_payload = Some(p);
+            }
+            if g.abort.is_none() {
+                g.abort = Some("a model thread panicked".to_string());
+            }
+        }
+        let g = self.switch(g, me, State::Finished);
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Unwind the calling model thread because the execution aborted.
+    pub(crate) fn abort_unwind(&self) -> ! {
+        panic::panic_any(Abort);
+    }
+
+    fn wait_all_finished(&self) {
+        let mut g = self.lock_inner();
+        while g.finished < g.states.len() {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.lock_inner().panic_payload.take()
+    }
+
+    fn take_abort(&self) -> Option<String> {
+        self.lock_inner().abort.take()
+    }
+
+    fn take_schedule(&self) -> Vec<Branch> {
+        std::mem::take(&mut self.lock_inner().schedule)
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: &Arc<Scheduler>, tid: Tid) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched.clone(), tid)));
+}
+
+/// The scheduler and thread id of the calling thread, if it is a model
+/// thread of a live execution.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Identity of the execution a primitive was created under, so a primitive
+/// from a previous execution (or from outside any model) is never confused
+/// with an instrumented one.
+pub(crate) struct ModelHandle {
+    sched: Weak<Scheduler>,
+    pub(crate) obj: usize,
+}
+
+impl ModelHandle {
+    /// Allocate an object id if the constructing thread is inside a model.
+    pub(crate) fn new_if_in_model() -> Option<ModelHandle> {
+        current().map(|(s, _)| ModelHandle {
+            obj: s.alloc_obj(),
+            sched: Arc::downgrade(&s),
+        })
+    }
+
+    /// `Some` only when the calling thread belongs to the same execution
+    /// this handle was created under.
+    pub(crate) fn ctx(&self) -> Option<(Arc<Scheduler>, Tid)> {
+        let (cur, me) = current()?;
+        let mine = self.sched.upgrade()?;
+        if Arc::ptr_eq(&cur, &mine) {
+            Some((cur, me))
+        } else {
+            None
+        }
+    }
+}
+
+/// Advance the schedule depth-first: bump the last decision that still has
+/// an untried choice, discarding everything after it. Returns `false` when
+/// the space is exhausted.
+fn advance(schedule: &mut Vec<Branch>) -> bool {
+    while let Some(last) = schedule.last_mut() {
+        if last.chosen + 1 < last.choices.len() {
+            last.chosen += 1;
+            return true;
+        }
+        schedule.pop();
+    }
+    false
+}
+
+/// Run `f` under every schedule of its instrumented operations.
+///
+/// Panics (resuming the original payload) if any execution panics, deadlocks,
+/// or behaves nondeterministically, and reports the execution number so the
+/// failing schedule can be reasoned about. The closure is re-run once per
+/// explored schedule, so it must create its own primitives and threads each
+/// call and must be deterministic apart from scheduling.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max_execs: usize = std::env::var("LOOM_MAX_EXECUTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let mut schedule: Vec<Branch> = Vec::new();
+    let mut execs = 0usize;
+    loop {
+        execs += 1;
+        if execs > max_execs {
+            panic!(
+                "loom: exceeded {max_execs} executions without exhausting the schedule space \
+                 (shrink the model or raise LOOM_MAX_EXECUTIONS)"
+            );
+        }
+        let sched = Arc::new(Scheduler::new(schedule));
+        let t0 = sched.register_thread();
+        sched.set_active(t0);
+        let (f2, s2) = (f.clone(), sched.clone());
+        let root = std::thread::Builder::new()
+            .name("loom-model".to_string())
+            .spawn(move || {
+                set_ctx(&s2, t0);
+                let res = panic::catch_unwind(AssertUnwindSafe(|| f2()));
+                let payload = match res {
+                    Ok(()) => None,
+                    Err(p) if p.is::<Abort>() => None,
+                    Err(p) => Some(p),
+                };
+                s2.finish_thread(t0, payload);
+            })
+            .expect("loom: failed to spawn model root thread");
+        let _ = root.join();
+        sched.wait_all_finished();
+        if let Some(p) = sched.take_panic() {
+            eprintln!("loom: model failed on execution {execs}");
+            panic::resume_unwind(p);
+        }
+        if let Some(reason) = sched.take_abort() {
+            panic!("loom: {reason} (execution {execs})");
+        }
+        schedule = sched.take_schedule();
+        if !advance(&mut schedule) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Instrumented drop-ins for `std::sync` primitives. Inside a [`crate::model`]
+//! execution every operation is a scheduler yield point; outside one they
+//! behave exactly like their `std` counterparts.
+
+use crate::rt::{self, ModelHandle};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+pub mod atomic;
+
+/// Mutex whose lock/unlock are scheduling points under a model.
+///
+/// The real storage and poisoning semantics are delegated to a `std` mutex;
+/// the scheduler serializes logical ownership, so the inner lock is always
+/// uncontended by the time it is taken.
+pub struct Mutex<T> {
+    model: Option<ModelHandle>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            model: ModelHandle::new_if_in_model(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, me)) = self.model_ctx("Mutex") {
+            let obj = self.model.as_ref().map(|h| h.obj).unwrap_or_default();
+            sched.yield_point(me);
+            sched.acquire(me, obj);
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Scheduler context when — and only when — both this primitive and the
+    /// calling thread belong to the same live model execution. Blocking
+    /// primitives that straddle the model boundary would hang the real OS
+    /// threads behind the scheduler's back, so that misuse panics loudly.
+    fn model_ctx(&self, what: &str) -> Option<(std::sync::Arc<crate::rt::Scheduler>, usize)> {
+        let in_model = rt::current().is_some();
+        match (&self.model, in_model) {
+            (Some(h), true) => match h.ctx() {
+                Some(ctx) => Some(ctx),
+                None => panic!(
+                    "loom: {what} created under a different model execution used inside a model; \
+                     create primitives inside the model closure"
+                ),
+            },
+            (None, true) => {
+                if std::thread::panicking() {
+                    // Unwinding drop glue may touch pre-model primitives;
+                    // degrade instead of double-panicking.
+                    return None;
+                }
+                panic!(
+                    "loom: {what} created outside loom::model used inside a model; \
+                     create primitives inside the model closure"
+                )
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard mirroring `std::sync::MutexGuard`; dropping it releases the real
+/// lock first and then the scheduler's logical ownership.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Order matters: the std guard must be gone before logical release,
+        // so the next logical owner finds the inner mutex free.
+        self.inner.take();
+        if let Some(h) = &self.lock.model {
+            if let Some((sched, me)) = h.ctx() {
+                sched.release(me, h.obj);
+            }
+        }
+    }
+}
+
+/// Condvar whose wait/notify are scheduling points under a model.
+pub struct Condvar {
+    model: Option<ModelHandle>,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            model: ModelHandle::new_if_in_model(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let in_model = rt::current().is_some();
+        if in_model {
+            let (cv, mtx) = match (&self.model, &guard.lock.model) {
+                (Some(cv), Some(mtx)) if cv.ctx().is_some() && mtx.ctx().is_some() => (cv, mtx),
+                _ => panic!(
+                    "loom: Condvar::wait needs both the condvar and the mutex to be created \
+                     inside the model closure"
+                ),
+            };
+            let (sched, me) = cv.ctx().expect("checked above");
+            let lock = guard.lock;
+            // Drop only the std guard; logical release happens atomically
+            // with parking inside the scheduler. Forget the wrapper so its
+            // Drop cannot release logical ownership a second time.
+            guard.inner.take();
+            std::mem::forget(guard);
+            sched.cv_wait(me, cv.obj, mtx.obj);
+            return match lock.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(p.into_inner()),
+                })),
+            };
+        }
+        let lock = guard.lock;
+        let std_guard = guard.inner.take().expect("loom: guard already released");
+        std::mem::forget(guard);
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(h) = &self.model {
+            if let Some((sched, me)) = h.ctx() {
+                sched.yield_point(me);
+                sched.notify(h.obj, false);
+                return;
+            }
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(h) = &self.model {
+            if let Some((sched, me)) = h.ctx() {
+                sched.yield_point(me);
+                sched.notify(h.obj, true);
+                return;
+            }
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,175 @@
+//! Instrumented atomics. Under a model every access is a scheduler yield
+//! point and executes sequentially consistent regardless of the ordering
+//! argument (the stand-in does not model weak memory — see the crate docs).
+//! Outside a model they delegate to `std` untouched.
+
+use crate::rt::ModelHandle;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $prim:ty) => {
+        pub struct $name {
+            model: Option<ModelHandle>,
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub fn new(value: $prim) -> Self {
+                Self {
+                    model: ModelHandle::new_if_in_model(),
+                    inner: std::sync::atomic::$std::new(value),
+                }
+            }
+
+            fn pre(&self) {
+                if let Some(h) = &self.model {
+                    if let Some((sched, me)) = h.ctx() {
+                        sched.yield_point(me);
+                    }
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $prim {
+                self.pre();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, value: $prim, _order: Ordering) {
+                self.pre();
+                self.inner.store(value, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                self.pre();
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                self.pre();
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                self.pre();
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, value: $prim, _order: Ordering) -> $prim {
+                self.pre();
+                self.inner.fetch_max(value, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.pre();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // The stand-in never fails spuriously; weak == strong here.
+                self.compare_exchange(current, new, _success, _failure)
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicU32, AtomicU32, u32);
+atomic_int!(AtomicU8, AtomicU8, u8);
+
+pub struct AtomicBool {
+    model: Option<ModelHandle>,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub fn new(value: bool) -> Self {
+        Self {
+            model: ModelHandle::new_if_in_model(),
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn pre(&self) {
+        if let Some(h) = &self.model {
+            if let Some((sched, me)) = h.ctx() {
+                sched.yield_point(me);
+            }
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        self.pre();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, value: bool, _order: Ordering) {
+        self.pre();
+        self.inner.store(value, Ordering::SeqCst)
+    }
+
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        self.pre();
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+
+    pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+        self.pre();
+        self.inner.fetch_or(value, Ordering::SeqCst)
+    }
+
+    pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+        self.pre();
+        self.inner.fetch_and(value, Ordering::SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.pre();
+        self.inner
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.inner.load(Ordering::SeqCst))
+            .finish()
+    }
+}

@@ -1,0 +1,101 @@
+//! Instrumented thread spawn/join. Inside a model, spawned closures become
+//! scheduler-managed model threads; outside, these are thin wrappers over
+//! `std::thread`.
+
+use crate::rt::{self, Abort, Scheduler};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        tid: rt::Tid,
+        os: std::thread::JoinHandle<()>,
+        slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    /// Like `std::thread::JoinHandle::join`. Under a model this is a
+    /// scheduler blocking point; if the joined thread was unwound by a model
+    /// abort the joiner unwinds too (the root `model` call reports why).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Std(handle) => handle.join(),
+            Imp::Model {
+                sched,
+                tid,
+                os,
+                slot,
+            } => {
+                let (cur, me) = rt::current()
+                    .expect("loom: JoinHandle::join called from outside the model execution");
+                cur.yield_point(me);
+                cur.join_thread(me, tid);
+                let _ = os.join();
+                let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match taken {
+                    Some(result) => result,
+                    // The child never produced a result: it was unwound by an
+                    // abort (deadlock / another thread's panic). Unwind the
+                    // joiner as well so the execution can be torn down.
+                    None => sched.abort_unwind(),
+                }
+            }
+        }
+    }
+}
+
+/// Like `std::thread::spawn`, but inside a model the new thread is
+/// registered with the scheduler before it runs and only executes when
+/// scheduled. Registration happens at a yield point, so schedules where the
+/// child runs before the spawner's next operation are explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((sched, me)) = rt::current() {
+        let tid = sched.register_thread();
+        let slot: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+        let (sched2, slot2) = (sched.clone(), slot.clone());
+        let os = std::thread::Builder::new()
+            .name(format!("loom-t{tid}"))
+            .spawn(move || {
+                rt::set_ctx(&sched2, tid);
+                sched2.first_schedule(tid);
+                let res = panic::catch_unwind(AssertUnwindSafe(f));
+                let payload = match res {
+                    Ok(value) => {
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+                        None
+                    }
+                    Err(p) if p.is::<Abort>() => None,
+                    Err(p) => Some(p),
+                };
+                sched2.finish_thread(tid, payload);
+            })
+            .expect("loom: failed to spawn model thread");
+        sched.yield_point(me);
+        JoinHandle(Imp::Model {
+            sched,
+            tid,
+            os,
+            slot,
+        })
+    } else {
+        JoinHandle(Imp::Std(std::thread::spawn(f)))
+    }
+}
+
+/// Yield point under a model; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if let Some((sched, me)) = rt::current() {
+        sched.yield_point(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

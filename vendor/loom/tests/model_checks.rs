@@ -1,0 +1,184 @@
+//! Self-checks for the vendored model checker: exhaustive exploration,
+//! deadlock detection, condvar wakeup modeling, and panic propagation.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex as StdMutex;
+
+#[test]
+fn mutex_counter_is_exact_across_all_schedules() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                loom::thread::spawn(move || {
+                    let mut g = counter.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn atomic_interleavings_are_fully_explored() {
+    // t1: x = 1; r1 = y.   t2: y = 1; r2 = x.
+    // Under sequential consistency (r1, r2) ranges over exactly
+    // {(0,1), (1,0), (1,1)} — (0,0) is impossible. Collecting outcomes
+    // across executions proves the checker both explores every schedule and
+    // never produces a non-SC result.
+    let outcomes: &'static StdMutex<BTreeSet<(usize, usize)>> =
+        Box::leak(Box::new(StdMutex::new(BTreeSet::new())));
+    loom::model(move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = loom::thread::spawn(move || {
+            x1.store(1, Ordering::SeqCst);
+            y1.load(Ordering::SeqCst)
+        });
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t2 = loom::thread::spawn(move || {
+            y2.store(1, Ordering::SeqCst);
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            (r1, r2) != (0, 0),
+            "sequential consistency violated: both threads read 0"
+        );
+        outcomes.lock().unwrap().insert((r1, r2));
+    });
+    let seen = outcomes.lock().unwrap();
+    assert_eq!(
+        *seen,
+        BTreeSet::from([(0, 1), (1, 0), (1, 1)]),
+        "exploration missed an SC outcome"
+    );
+}
+
+#[test]
+fn abba_lock_order_inversion_is_reported_as_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let t = loom::thread::spawn(move || {
+                let _ga = a1.lock().unwrap();
+                let _gb = b1.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            let _ = t.join();
+        });
+    }));
+    let err = result.expect_err("ABBA locking must deadlock on some schedule");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".to_string());
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn condvar_handshake_has_no_lost_wakeup() {
+    // Correct protocol: predicate loop around wait, notify after flipping the
+    // flag under the lock. Must complete on every schedule.
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let setter = loom::thread::spawn(move || {
+            let (flag, cv) = &*pair2;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        let (flag, cv) = &*pair;
+        let mut g = flag.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        setter.join().unwrap();
+    });
+}
+
+#[test]
+fn broken_wait_protocol_is_caught() {
+    // Bug: the flag is an atomic checked *outside* the condvar's mutex, so
+    // the notify can land in the gap between the check and the wait — a
+    // classic lost wakeup. The checker must find the schedule where the
+    // waiter sleeps forever.
+    use loom::sync::atomic::AtomicBool;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let (flag2, pair2) = (Arc::clone(&flag), Arc::clone(&pair));
+            let setter = loom::thread::spawn(move || {
+                flag2.store(true, Ordering::SeqCst);
+                pair2.1.notify_all();
+            });
+            if !flag.load(Ordering::SeqCst) {
+                let (lock, cv) = &*pair;
+                let g = lock.lock().unwrap();
+                drop(cv.wait(g).unwrap());
+            }
+            setter.join().unwrap();
+        });
+    }));
+    let err = result.expect_err("lost-wakeup schedule must be detected");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".to_string());
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn assertion_failures_surface_with_original_message() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = loom::thread::spawn(move || {
+                v2.store(7, Ordering::SeqCst);
+            });
+            let seen = v.load(Ordering::SeqCst);
+            t.join().unwrap();
+            // Fails only on schedules where the child ran first.
+            assert_ne!(seen, 7, "child store observed before join");
+        });
+    }));
+    let err = result.expect_err("the racy schedule must be found");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".to_string());
+    assert!(
+        msg.contains("child store observed before join"),
+        "original assertion message lost: {msg}"
+    );
+}
+
+#[test]
+fn primitives_fall_back_to_std_outside_models() {
+    let m = Mutex::new(5u8);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::Relaxed), 1);
+    assert_eq!(a.load(Ordering::Relaxed), 3);
+    let t = loom::thread::spawn(|| 41 + 1);
+    assert_eq!(t.join().unwrap(), 42);
+}
