@@ -1,0 +1,61 @@
+//! Regenerates the front-door serving benchmark (`BENCH_serve.json`).
+//!
+//! Usage: `fig_serve [--json <dir>] [--smoke]`
+//!
+//! `--smoke` runs the reduced CI grid. The gate assertions (warm
+//! amortized Q strictly below cold, coalescing observed on overlap,
+//! bit-identical responses) run in both modes: a failing gate exits via
+//! panic, which is what the `serve-smoke` CI job keys on.
+
+use dr_bench::experiments::serve;
+use std::path::PathBuf;
+
+fn main() {
+    let mut json_dir: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => usage_exit(2),
+            },
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage_exit(0),
+            _ => {
+                eprintln!("unknown argument: {arg}");
+                usage_exit(2);
+            }
+        }
+    }
+
+    let grid = if smoke {
+        serve::ServeGrid::smoke()
+    } else {
+        serve::ServeGrid::full()
+    };
+    let records = serve::run_grid(&grid);
+    for table in serve::tables(&records) {
+        print!("{table}");
+    }
+    serve::gate(&records);
+    if let Some(dir) = json_dir {
+        match serve::write_json(&dir, &records) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write metrics to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: fig_serve [--json <dir>] [--smoke]\n\
+         \n\
+         --json <dir>   write BENCH_serve.json into <dir>\n\
+         --smoke        reduced grid for CI smoke runs"
+    );
+    std::process::exit(code)
+}

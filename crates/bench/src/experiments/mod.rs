@@ -9,6 +9,7 @@ pub mod lower_bound;
 pub mod msg_size;
 pub mod multi_cycle;
 pub mod oracle;
+pub mod serve;
 pub mod sim_scaling;
 pub mod strategy_ablation;
 pub mod suite;
@@ -45,6 +46,9 @@ pub fn run_all_metered(sink: &mut MetricsSink) -> Vec<Table> {
     tables.extend(sim_scaling::run_metered(sink));
     // `suite` is deliberately absent: it is the meta-experiment that
     // *times* the twelve above plus the chaos campaign (run it via
-    // `dr experiments --only suite` or `fig_suite`).
+    // `dr experiments --only suite` or `fig_suite`). `serve` is also
+    // run separately (`dr serve-bench` / `fig_serve`): it measures wall
+    // clock against a throttled upstream, so batching it with the
+    // deterministic experiments would only slow them down.
     tables
 }

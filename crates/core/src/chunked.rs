@@ -46,12 +46,21 @@ fn word_value(seed: u64, w: u64) -> u64 {
 }
 
 /// Point-in-time cache statistics of a [`ChunkedSource`].
+///
+/// `hits`/`misses` are word-granular — one count per word read, hit when
+/// the word's chunk was resident — matching the admission plane's
+/// [`CacheStats`](crate::CacheStats) accounting so the two cache layers
+/// report comparable numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkStats {
     /// Chunks generated so far (including regenerations after eviction).
     pub generated: u64,
     /// Chunks evicted so far.
     pub evicted: u64,
+    /// Word reads served by a resident chunk.
+    pub hits: u64,
+    /// Word reads that had to generate their chunk first.
+    pub misses: u64,
     /// Peak number of simultaneously resident chunks.
     pub peak_resident: usize,
     /// Chunks resident right now.
@@ -67,6 +76,8 @@ struct ChunkCache {
     fifo: VecDeque<usize>,
     generated: u64,
     evicted: u64,
+    hits: u64,
+    misses: u64,
     peak_resident: usize,
 }
 
@@ -75,6 +86,11 @@ impl ChunkCache {
     /// as needed.
     fn word(&mut self, seed: u64, chunk_words: usize, max_resident: usize, w: usize) -> u64 {
         let chunk = w / chunk_words;
+        if self.chunks.contains_key(&chunk) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
         if !self.chunks.contains_key(&chunk) {
             // Make room first so residency never exceeds the cap, even
             // transiently.
@@ -136,6 +152,8 @@ impl ChunkedSource {
                 fifo: VecDeque::new(),
                 generated: 0,
                 evicted: 0,
+                hits: 0,
+                misses: 0,
                 peak_resident: 0,
             }),
         }
@@ -157,6 +175,8 @@ impl ChunkedSource {
         ChunkStats {
             generated: cache.generated,
             evicted: cache.evicted,
+            hits: cache.hits,
+            misses: cache.misses,
             peak_resident: cache.peak_resident,
             resident: cache.chunks.len(),
         }
@@ -317,6 +337,29 @@ mod tests {
         assert!(stats.resident <= 5);
         assert_eq!(stats.generated, 100);
         assert_eq!(stats.evicted, 95);
+    }
+
+    #[test]
+    fn hit_miss_counters_join_the_plane_accounting() {
+        // Regression guard for the counter unification: hits/misses are
+        // new, and the residency numbers (peak_resident above all) must
+        // be exactly what they were before the refactor.
+        let n = 64 * 4 * 100; // 100 chunks of 4 words
+        let src = ChunkedSource::with_geometry(n, 3, 4, 5);
+        let _ = src.bits(0..n);
+        let stats = src.stats();
+        assert_eq!(stats.peak_resident, 5, "peak_resident changed");
+        assert_eq!(stats.generated, 100);
+        assert_eq!(stats.evicted, 95);
+        // 400 word reads: the first of each chunk misses, the rest hit.
+        assert_eq!(stats.misses, 100);
+        assert_eq!(stats.hits, 300);
+        // A warm re-read of a resident chunk is all hits.
+        let tail_chunk_lo = n - 64 * 4;
+        let _ = src.bits(tail_chunk_lo..n);
+        let warm = src.stats();
+        assert_eq!(warm.misses, 100);
+        assert_eq!(warm.hits, 304);
     }
 
     #[test]

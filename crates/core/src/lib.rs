@@ -50,6 +50,7 @@
 
 mod assignment;
 mod bits;
+mod cached;
 mod chunked;
 pub mod collections;
 mod error;
@@ -58,9 +59,11 @@ mod peer;
 mod protocol;
 mod segment;
 mod source;
+pub mod sync;
 
 pub use assignment::Assignment;
 pub use bits::{BitArray, PartialArray};
+pub use cached::{AdmissionPlane, CacheStats, CachedSource, PlaneHandle, ReadReceipt};
 pub use chunked::{ChunkStats, ChunkedSource};
 pub use error::InvalidParamsError;
 pub use params::{FaultModel, ModelParams, ModelParamsBuilder};

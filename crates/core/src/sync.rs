@@ -1,0 +1,21 @@
+//! Synchronization facade for the query admission plane.
+//!
+//! The single-flight coalescing protocol in [`crate::cached`] is the only
+//! blocking cross-thread protocol this crate owns: concurrent cache misses
+//! elect a leader that fetches from the upstream source while followers
+//! park on a condvar. Its primitives are constructed through this module —
+//! `std::sync` by default, the vendored `loom` model checker under the
+//! `loom-model` feature (std-equivalent outside `loom::model`) — so
+//! `tests/loom_admission.rs` can exhaustively interleave the
+//! claim/fetch/fill/notify protocol, including leader panics, without a
+//! second copy of the code.
+//!
+//! The `sync-primitive-outside-facade` lint keys off this file: raw
+//! primitive construction elsewhere in the deterministic tier needs a
+//! justified allow.
+
+#[cfg(feature = "loom-model")]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+#[cfg(not(feature = "loom-model"))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};

@@ -61,7 +61,11 @@ fn is_plane_file(file: &str) -> bool {
 /// The sync facades: the swap points where `std::sync` becomes `loom::sync`
 /// under the `loom-model` feature. Primitive re-exports live here by
 /// definition, so the facade-routing rules do not apply to them.
-const FACADE_FILES: &[&str] = &["crates/bench/src/sync.rs", "crates/sim/src/sync.rs"];
+const FACADE_FILES: &[&str] = &[
+    "crates/bench/src/sync.rs",
+    "crates/core/src/sync.rs",
+    "crates/sim/src/sync.rs",
+];
 
 /// Primitive types whose *construction* the `sync-primitive-outside-facade`
 /// rule polices.
@@ -205,12 +209,14 @@ pub fn check_source(file: &str, source: &str, tier: Tier, is_lib_rs: bool) -> Ve
         .windows(3)
         .any(|w| w[0].is_ident("loom") && w[1].is_punct(':') && w[2].is_punct(':'));
     // Files that construct primitives *through* a sync facade path
-    // (`crate::sync`, `dr_bench::sync`, `dr_sim::sync`) are already routed
-    // through the swap point the facade rule exists to enforce.
+    // (`crate::sync`, `dr_bench::sync`, `dr_core::sync`, `dr_sim::sync`)
+    // are already routed through the swap point the facade rule exists to
+    // enforce.
     let uses_facade_sync = tokens.iter().enumerate().any(|(i, t)| {
         t.is_ident("sync")
             && (path_prefix_is(tokens, i, "crate")
                 || path_prefix_is(tokens, i, "dr_bench")
+                || path_prefix_is(tokens, i, "dr_core")
                 || path_prefix_is(tokens, i, "dr_sim"))
     });
     let is_facade = FACADE_FILES.contains(&file);

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bridge;
 mod dynamic;
 mod encode;
 mod median;
@@ -29,6 +30,7 @@ mod odc;
 mod onchain;
 mod source;
 
+pub use bridge::ValueSourceBits;
 pub use dynamic::DriftingSource;
 pub use encode::{bits_to_values, values_to_bits, BITS_PER_VALUE};
 pub use median::{in_honest_range, median};

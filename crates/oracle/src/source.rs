@@ -11,6 +11,7 @@
 use dr_core::PeerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A read-only off-chain data source of `cells` values.
 pub trait DataSource: Send + Sync {
@@ -117,8 +118,12 @@ impl DataSource for EquivocatingSource {
 }
 
 /// A fleet of data sources plus the ground truth used to generate them.
+///
+/// Sources are held behind [`Arc`] so pipelines can hand a source to a
+/// bit-level bridge ([`crate::ValueSourceBits`]) and on to the shared
+/// query admission plane without cloning the data.
 pub struct SourceFleet {
-    sources: Vec<Box<dyn DataSource>>,
+    sources: Vec<Arc<dyn DataSource>>,
     truth: Vec<u64>,
 }
 
@@ -135,7 +140,10 @@ impl SourceFleet {
             sources.iter().any(|s| s.is_honest()),
             "need at least one honest source"
         );
-        SourceFleet { sources, truth }
+        SourceFleet {
+            sources: sources.into_iter().map(Arc::from).collect(),
+            truth,
+        }
     }
 
     /// Appends `count` equivocating sources (each answers every reader
@@ -145,7 +153,7 @@ impl SourceFleet {
         let cells = self.cells();
         for i in 0..count {
             self.sources
-                .push(Box::new(EquivocatingSource::new(cells, salt ^ i as u64)));
+                .push(Arc::new(EquivocatingSource::new(cells, salt ^ i as u64)));
         }
         self
     }
@@ -169,7 +177,7 @@ impl SourceFleet {
         let truth: Vec<u64> = (0..cells)
             .map(|_| truth_base + rng.gen_range(0..=spread))
             .collect();
-        let mut sources: Vec<Box<dyn DataSource>> = Vec::new();
+        let mut sources: Vec<Arc<dyn DataSource>> = Vec::new();
         for _ in 0..honest {
             let values: Vec<u64> = truth
                 .iter()
@@ -178,7 +186,7 @@ impl SourceFleet {
                     t.saturating_add(noise).saturating_sub(spread / 2)
                 })
                 .collect();
-            sources.push(Box::new(HonestSource::new(values)));
+            sources.push(Arc::new(HonestSource::new(values)));
         }
         for i in 0..corrupt {
             // Alternate between low-ball and high-ball manipulation.
@@ -192,7 +200,7 @@ impl SourceFleet {
                     }
                 })
                 .collect();
-            sources.push(Box::new(CorruptSource::new(values)));
+            sources.push(Arc::new(CorruptSource::new(values)));
         }
         SourceFleet { sources, truth }
     }
@@ -215,6 +223,12 @@ impl SourceFleet {
     /// Access to one source.
     pub fn source(&self, i: usize) -> &dyn DataSource {
         self.sources[i].as_ref()
+    }
+
+    /// Shared handle to one source (for bridging into the admission
+    /// plane, see [`crate::ValueSourceBits`]).
+    pub fn source_arc(&self, i: usize) -> Arc<dyn DataSource> {
+        Arc::clone(&self.sources[i])
     }
 
     /// The generated ground truth (evaluation only).

@@ -10,9 +10,19 @@
 //!
 //! Queries go through the same metered [`dr_core::SharedSource`], so query
 //! complexity is measured identically in both worlds.
+//!
+//! The [`serve`] module adds the multi-client face of the runtime: a
+//! [`FrontDoor`] that admits many concurrent download requests (bounded,
+//! with backpressure), fans each over one peer fleet, and serves overlap
+//! from a shared [`dr_core::AdmissionPlane`] so overlapping clients do not
+//! double-pay query cost.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod serve;
+
+pub use serve::{FrontDoor, RequestOutcome, ServeConfig};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dr_core::{

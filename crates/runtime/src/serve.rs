@@ -1,0 +1,378 @@
+//! Multi-client front door over one peer fleet.
+//!
+//! The paper's §4 deployment picture (oracle networks à la DORA) has many
+//! clients pulling data through a single fleet of peers, with queries to
+//! the external source as the expensive resource. [`FrontDoor`] is the
+//! in-process version of that service:
+//!
+//! * it accepts **many concurrent download requests** ([`FrontDoor::serve`]
+//!   is called from any number of client threads),
+//! * admission is **bounded**: at most `max_in_flight` requests are served
+//!   at once, the rest block at the gate (backpressure instead of
+//!   unbounded queue growth),
+//! * each admitted request is **fanned over the peer fleet**: its range is
+//!   split into contiguous per-peer spans, each read through the shared
+//!   [`AdmissionPlane`] so the leading peer is charged amortized `Q`,
+//! * **overlap is served from the plane**: ranges already fetched (by this
+//!   request or any earlier/concurrent one) cost no upstream queries, and
+//!   concurrent misses on the same words coalesce into one metered fetch.
+//!
+//! Each request gets a [`RequestOutcome`] with its bits, wall-clock
+//! latency split into gate wait vs. service time, and the aggregated
+//! [`ReadReceipt`] — `metered_bits` is the request's *attributed* share of
+//! upstream `Q`, the quantity `fig_serve` tracks cold vs. warm.
+
+use dr_core::sync::{Condvar, Mutex, PoisonError};
+use dr_core::{AdmissionPlane, BitArray, PeerId, QueryMeter, ReadReceipt, Source};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`FrontDoor`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Fleet size: requests are striped over this many metered peers.
+    pub num_peers: usize,
+    /// Cache shards in the admission plane.
+    pub shards: usize,
+    /// Maximum concurrently-served requests; further callers block at the
+    /// admission gate until a slot frees.
+    pub max_in_flight: usize,
+}
+
+impl ServeConfig {
+    /// A front door over `num_peers` peers with one cache shard per peer
+    /// and an in-flight bound of `2 × num_peers`.
+    pub fn new(num_peers: usize) -> Self {
+        assert!(num_peers > 0, "front door needs at least one peer");
+        ServeConfig {
+            num_peers,
+            shards: num_peers,
+            max_in_flight: 2 * num_peers,
+        }
+    }
+
+    /// Overrides the cache shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the in-flight admission bound.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        assert!(max_in_flight > 0, "admission bound must be positive");
+        self.max_in_flight = max_in_flight;
+        self
+    }
+}
+
+/// Counting semaphore for bounded admission, built on the facade
+/// mutex/condvar so its blocking behaviour is model-checkable.
+struct Gate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Gate {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self
+            .permits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *permits == 0 {
+            permits = self
+                .cv
+                .wait(permits)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        {
+            let mut permits = self
+                .permits
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *permits += 1;
+        }
+        self.cv.notify_one();
+    }
+}
+
+/// Outcome of one served request.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The requested bits.
+    pub bits: BitArray,
+    /// Aggregated per-word accounting across the fleet fan-out.
+    pub receipt: ReadReceipt,
+    /// Upstream bits this request was charged for (its amortized `Q`
+    /// share). Equal to `receipt.fetched_bits`; hits and coalesced words
+    /// cost nothing.
+    pub metered_bits: u64,
+    /// Time spent blocked at the admission gate.
+    pub queued: Duration,
+    /// Time spent being served (fan-out + plane reads) after admission.
+    pub service: Duration,
+}
+
+impl RequestOutcome {
+    /// Total request latency as seen by the client.
+    pub fn latency(&self) -> Duration {
+        self.queued + self.service
+    }
+}
+
+/// An in-process multi-client download service: bounded admission in
+/// front of an [`AdmissionPlane`]-backed peer fleet.
+///
+/// Cloning is cheap; clones share the fleet, cache, meter, and gate.
+///
+/// # Examples
+///
+/// ```
+/// use dr_core::{ArraySource, BitArray};
+/// use dr_runtime::{FrontDoor, ServeConfig};
+///
+/// let input = BitArray::from_fn(4096, |i| i % 3 == 0);
+/// let door = FrontDoor::new(ArraySource::new(input.clone()), ServeConfig::new(4));
+/// let cold = door.serve(0..2048);
+/// assert_eq!(cold.bits, input.slice(0..2048));
+/// assert!(cold.metered_bits > 0);
+/// let warm = door.serve(0..2048); // fully cached: no upstream charge
+/// assert_eq!(warm.metered_bits, 0);
+/// ```
+#[derive(Clone)]
+pub struct FrontDoor {
+    plane: AdmissionPlane,
+    gate: Arc<Gate>,
+    num_peers: usize,
+}
+
+impl FrontDoor {
+    /// Builds a front door serving `source` through a fresh admission
+    /// plane.
+    pub fn new(source: impl Source + 'static, config: ServeConfig) -> Self {
+        let plane = AdmissionPlane::new(source, config.num_peers, config.shards.max(1));
+        FrontDoor {
+            plane,
+            gate: Arc::new(Gate::new(config.max_in_flight)),
+            num_peers: config.num_peers,
+        }
+    }
+
+    /// The shared admission plane (cache statistics, meter).
+    pub fn plane(&self) -> &AdmissionPlane {
+        &self.plane
+    }
+
+    /// The shared per-peer query meter.
+    pub fn meter(&self) -> &Arc<QueryMeter> {
+        self.plane.meter()
+    }
+
+    /// Bits in the underlying source.
+    pub fn len(&self) -> usize {
+        self.plane.len()
+    }
+
+    /// Whether the underlying source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plane.is_empty()
+    }
+
+    /// Serves one download request, blocking at the admission gate if
+    /// `max_in_flight` requests are already in service.
+    ///
+    /// The range is split into `num_peers` contiguous spans, each read
+    /// through that peer's plane handle: the peer leading a miss is
+    /// charged for exactly the bits fetched upstream, while overlap with
+    /// previously- or concurrently-served requests is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > len()`.
+    pub fn serve(&self, range: Range<usize>) -> RequestOutcome {
+        let arrived = Instant::now();
+        self.gate.acquire();
+        let admitted = Instant::now();
+        let outcome = self.serve_admitted(range, admitted);
+        self.gate.release();
+        RequestOutcome {
+            queued: admitted - arrived,
+            ..outcome
+        }
+    }
+
+    fn serve_admitted(&self, range: Range<usize>, admitted: Instant) -> RequestOutcome {
+        let total = range.len();
+        let mut bits = BitArray::zeros(total);
+        let mut receipt = ReadReceipt::default();
+        if total > 0 {
+            // Contiguous per-peer spans, word-aligned at the seams so two
+            // peers never split (and double-fetch) one cache word.
+            let span = total.div_ceil(self.num_peers).div_ceil(64) * 64;
+            let mut offset = 0;
+            let mut peer = 0;
+            while offset < total {
+                let end = (offset + span).min(total);
+                let handle = self.plane.handle(PeerId(peer % self.num_peers));
+                let (chunk, r) = handle.query_range(range.start + offset..range.start + end);
+                bits.write_at(offset, &chunk);
+                receipt.absorb(&r);
+                offset = end;
+                peer += 1;
+            }
+        }
+        RequestOutcome {
+            bits,
+            metered_bits: receipt.fetched_bits,
+            receipt,
+            queued: Duration::ZERO,
+            service: admitted.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_core::ArraySource;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::thread;
+
+    fn door(n: usize, peers: usize, seed: u64) -> (FrontDoor, BitArray) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = BitArray::random(n, &mut rng);
+        (
+            FrontDoor::new(ArraySource::new(input.clone()), ServeConfig::new(peers)),
+            input,
+        )
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let (door, input) = door(4096, 4, 1);
+        let cold = door.serve(0..4096);
+        assert_eq!(cold.bits, input);
+        assert_eq!(cold.metered_bits, 4096);
+        let warm = door.serve(0..4096);
+        assert_eq!(warm.bits, input);
+        assert_eq!(warm.metered_bits, 0);
+        assert!(warm.receipt.is_free());
+    }
+
+    #[test]
+    fn fan_out_attributes_q_across_the_fleet() {
+        let (door, _) = door(4096, 4, 2);
+        let outcome = door.serve(0..4096);
+        assert_eq!(outcome.metered_bits, 4096);
+        let counts = door.meter().counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<u64>(), 4096);
+        // Even striping: no peer pays more than its word-aligned share.
+        assert_eq!(door.meter().max_over((0..4).map(PeerId)), 1024);
+    }
+
+    #[test]
+    fn partial_overlap_only_charges_the_gap() {
+        let (door, input) = door(8192, 2, 3);
+        let first = door.serve(0..4096);
+        assert_eq!(first.metered_bits, 4096);
+        let second = door.serve(2048..6144);
+        assert_eq!(second.bits, input.slice(2048..6144));
+        assert_eq!(second.metered_bits, 2048, "overlapping half is free");
+        assert_eq!(second.receipt.hit_words, 32);
+    }
+
+    #[test]
+    fn gate_bounds_concurrent_service() {
+        // A source that tracks its own concurrent `bits` callers; with
+        // max_in_flight = 1 the front door must fully serialize requests,
+        // so the source never sees two overlapping calls.
+        struct Tracking {
+            inner: ArraySource,
+            state: parking_lot::Mutex<(u32, u32)>, // (current, peak)
+        }
+        impl Source for Tracking {
+            fn len(&self) -> usize {
+                self.inner.len()
+            }
+            fn bit(&self, index: usize) -> bool {
+                self.inner.bit(index)
+            }
+            fn bits(&self, range: Range<usize>) -> BitArray {
+                {
+                    let mut s = self.state.lock();
+                    s.0 += 1;
+                    s.1 = s.1.max(s.0);
+                }
+                thread::sleep(Duration::from_micros(200));
+                let out = Source::bits(&self.inner, range);
+                self.state.lock().0 -= 1;
+                out
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = BitArray::random(2048, &mut rng);
+        let tracking = Arc::new(Tracking {
+            inner: ArraySource::new(input.clone()),
+            state: parking_lot::Mutex::new((0, 0)),
+        });
+        let door = FrontDoor::new(
+            Arc::clone(&tracking) as Arc<dyn Source>,
+            ServeConfig::new(2).with_max_in_flight(1),
+        );
+        // dr-lint: allow(raw-thread-spawn): concurrent client threads in a test, joined by scope exit
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let door = door.clone();
+                let input = &input;
+                scope.spawn(move || {
+                    let lo = t * 512;
+                    let out = door.serve(lo..lo + 512);
+                    assert_eq!(out.bits, input.slice(lo..lo + 512));
+                });
+            }
+        });
+        assert_eq!(tracking.state.lock().1, 1, "admission gate must serialize");
+        // Disjoint ranges: every bit paid exactly once.
+        assert_eq!(door.plane().cache().stats().upstream_bits, 2048);
+    }
+
+    #[test]
+    fn concurrent_overlapping_requests_pay_once_total() {
+        let (door, input) = door(4096, 4, 5);
+        // dr-lint: allow(raw-thread-spawn): concurrent client threads in a test, joined by scope exit
+        thread::scope(|scope| {
+            for _ in 0..6 {
+                let door = door.clone();
+                let input = &input;
+                scope.spawn(move || {
+                    let out = door.serve(0..4096);
+                    assert_eq!(&out.bits, input);
+                });
+            }
+        });
+        // Six clients, one array: the plane pays n bits upstream, total.
+        assert_eq!(door.plane().cache().stats().upstream_bits, 4096);
+        assert_eq!(door.meter().counts().iter().sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn empty_request_is_free() {
+        let (door, _) = door(128, 2, 6);
+        let out = door.serve(64..64);
+        assert_eq!(out.bits.len(), 0);
+        assert_eq!(out.metered_bits, 0);
+    }
+}
